@@ -1,0 +1,45 @@
+"""Throughput benchmarks of the simulation substrate itself.
+
+Not tied to a specific table/figure: these measure how fast the
+discrete-event simulator processes a trace, which is what determines how
+close to the paper's full 2700-job / 1M-task scale the harness can run.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.model import StrategyName
+from repro.simulator.cluster import ClusterConfig
+from repro.simulator.runner import SimulationRunner
+from repro.strategies import StrategyParameters, build_strategy
+from repro.traces.google_trace import GoogleTraceConfig, SyntheticGoogleTrace
+
+
+def test_bench_trace_simulation_throughput(benchmark):
+    """Simulate a 100-job synthetic Google trace under S-Resume."""
+    jobs = SyntheticGoogleTrace(GoogleTraceConfig.small(num_jobs=100, seed=3)).job_specs()
+    params = StrategyParameters(
+        tau_est=0.3, tau_kill=0.8, theta=1e-4, timing_relative_to_tmin=True
+    )
+    runner = SimulationRunner(cluster=ClusterConfig(num_nodes=0), seed=3)
+
+    report = run_once(
+        benchmark, runner.run, jobs, build_strategy(StrategyName.SPECULATIVE_RESUME, params)
+    )
+    benchmark.extra_info["jobs"] = report.num_jobs
+    benchmark.extra_info["pocd"] = report.pocd
+    assert report.num_jobs == 100
+
+
+def test_bench_contended_cluster_simulation(benchmark):
+    """Simulate the paper's 40-node testbed shape with container contention."""
+    from repro.traces.workloads import benchmark_jobs
+
+    jobs = benchmark_jobs("sort", num_jobs=60, inter_arrival=3.0)
+    params = StrategyParameters(tau_est=40.0, tau_kill=80.0, theta=1e-4)
+    runner = SimulationRunner(cluster=ClusterConfig(num_nodes=40, slots_per_node=8), seed=4)
+
+    report = run_once(benchmark, runner.run, jobs, build_strategy(StrategyName.CLONE, params))
+    benchmark.extra_info["pocd"] = report.pocd
+    assert report.num_jobs == 60

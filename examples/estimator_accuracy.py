@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""JVM-aware completion-time estimation vs default Hadoop estimation.
+
+Section VI of the paper introduces an improved task completion-time
+estimator that accounts for JVM launch time.  This example quantifies the
+difference in two ways:
+
+1. isolated estimation error on synthetic attempts with a known ground
+   truth, and
+2. end-to-end impact when the Speculative-Restart strategy uses one
+   estimator or the other (false-positive straggler detections launch
+   unnecessary speculative attempts).
+
+Run with::
+
+    python examples/estimator_accuracy.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro import JobSpec, StrategyName, StrategyParameters
+from repro.analysis.estimators import estimation_errors, estimator_ablation
+from repro.simulator.progress import chronos_estimate_completion, hadoop_estimate_completion
+
+
+def main() -> None:
+    spec = JobSpec(job_id="probe", num_tasks=10, deadline=100.0, tmin=20.0, beta=1.4)
+
+    # ------------------------------------------------------------------
+    # 1. Isolated estimator accuracy under increasing JVM launch delay.
+    # ------------------------------------------------------------------
+    print("mean |relative error| of the completion-time estimate")
+    print(f"{'JVM delay':>10s} {'Hadoop':>10s} {'Chronos':>10s}")
+    for jvm_delay in (0.0, 2.0, 5.0, 10.0):
+        hadoop = estimation_errors(spec, hadoop_estimate_completion, jvm_delay=jvm_delay, samples=400)
+        chronos = estimation_errors(spec, chronos_estimate_completion, jvm_delay=jvm_delay, samples=400)
+        print(
+            f"{jvm_delay:10.1f} "
+            f"{statistics.fmean(abs(e) for e in hadoop):10.3f} "
+            f"{statistics.fmean(abs(e) for e in chronos):10.3f}"
+        )
+
+    # ------------------------------------------------------------------
+    # 2. End-to-end effect on Speculative-Restart.
+    # ------------------------------------------------------------------
+    jobs = [
+        JobSpec(
+            job_id=f"job-{i}",
+            num_tasks=10,
+            deadline=90.0,
+            tmin=20.0,
+            beta=1.3,
+            submit_time=i * 10.0,
+        )
+        for i in range(60)
+    ]
+    result = estimator_ablation(
+        jobs,
+        StrategyName.SPECULATIVE_RESTART,
+        StrategyParameters(tau_est=40.0, tau_kill=80.0, fixed_r=1),
+        seed=1,
+    )
+    print("\nend-to-end Speculative-Restart comparison (same jobs, same r):")
+    print(
+        f"  Chronos estimator: PoCD={result.chronos_report.pocd:.3f}, "
+        f"cost={result.chronos_report.mean_cost:.0f}, "
+        f"speculative fraction={result.chronos_report.speculative_attempt_fraction:.2%}"
+    )
+    print(
+        f"  Hadoop estimator:  PoCD={result.hadoop_report.pocd:.3f}, "
+        f"cost={result.hadoop_report.mean_cost:.0f}, "
+        f"speculative fraction={result.hadoop_report.speculative_attempt_fraction:.2%}"
+    )
+    print(
+        f"  -> the JVM-blind estimator launches {result.speculation_ratio:.2f}x as much "
+        f"speculation for a PoCD difference of {result.pocd_gain:+.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

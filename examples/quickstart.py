@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: optimize speculative execution for one deadline-critical job.
+
+This walks through the core Chronos workflow:
+
+1. describe a job with the Pareto straggler model,
+2. compute the closed-form PoCD and cost of each strategy,
+3. run the joint PoCD/cost optimization (Algorithm 1) to pick the optimal
+   number of extra attempts ``r`` for each strategy,
+4. verify the chosen strategy in the discrete-event cluster simulator.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ChronosOptimizer,
+    ClusterConfig,
+    JobSpec,
+    SimulationRunner,
+    StragglerModel,
+    StrategyName,
+    StrategyParameters,
+    build_strategy,
+    expected_machine_time,
+    pocd,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Describe the job: 10 parallel map tasks, a 100 s deadline, and
+    #    Pareto(tmin=20 s, beta=1.5) attempt execution times (a contended
+    #    cluster with a heavy tail).  Stragglers are detected at 40 s and
+    #    redundant attempts are pruned at 80 s.
+    # ------------------------------------------------------------------
+    model = StragglerModel(
+        tmin=20.0, beta=1.5, num_tasks=10, deadline=100.0, tau_est=40.0, tau_kill=80.0
+    )
+    print(f"straggler probability per attempt: {model.straggler_probability:.3f}")
+    print(f"mean task time: {model.mean_task_time:.1f}s, deadline: {model.deadline:.0f}s\n")
+
+    # ------------------------------------------------------------------
+    # 2. Closed-form PoCD / cost for a few r values (Theorems 1-6).
+    # ------------------------------------------------------------------
+    print("closed-form PoCD (rows) and machine time (parentheses) per r:")
+    for strategy in StrategyName.chronos_strategies():
+        cells = [
+            f"r={r}: {pocd(model, strategy, r):.3f} ({expected_machine_time(model, strategy, r):.0f}s)"
+            for r in range(4)
+        ]
+        print(f"  {strategy.display_name:10s} " + "  ".join(cells))
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Joint PoCD/cost optimization (Algorithm 1).
+    # ------------------------------------------------------------------
+    optimizer = ChronosOptimizer(model, theta=1e-4, unit_price=1.0, r_min_pocd=0.5)
+    print("Algorithm 1 results (theta=1e-4, Rmin=0.5):")
+    for strategy, result in optimizer.optimize_all().items():
+        print(
+            f"  {strategy.display_name:10s} r*={result.r_opt}  PoCD={result.pocd:.4f}  "
+            f"E[T]={result.machine_time:.0f}s  U={result.utility:.3f}"
+        )
+    best = optimizer.best_strategy()
+    print(f"best strategy: {best.strategy.display_name} with r*={best.r_opt}\n")
+
+    # ------------------------------------------------------------------
+    # 4. Check the winner in the discrete-event simulator (100 jobs).
+    # ------------------------------------------------------------------
+    jobs = [
+        JobSpec(
+            job_id=f"job-{i}",
+            num_tasks=10,
+            deadline=100.0,
+            tmin=20.0,
+            beta=1.5,
+            submit_time=5.0 * i,
+        )
+        for i in range(100)
+    ]
+    runner = SimulationRunner(cluster=ClusterConfig(num_nodes=40, slots_per_node=8), seed=0)
+    report = runner.run(
+        jobs,
+        build_strategy(
+            best.strategy,
+            StrategyParameters(tau_est=40.0, tau_kill=80.0, theta=1e-4, r_min_pocd=0.5),
+        ),
+    )
+    print(
+        f"simulated {report.num_jobs} jobs under {best.strategy.display_name}: "
+        f"PoCD={report.pocd:.3f}, mean VM time={report.mean_machine_time:.0f}s, "
+        f"attempts/task={report.mean_attempts_per_task:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

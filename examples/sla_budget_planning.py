@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""SLA / budget planning with the PoCD-cost tradeoff frontier.
+
+The paper argues that the PoCD/cost frontier lets an operator answer two
+questions: "what budget do I need to hit a PoCD target?" and "what PoCD
+can I afford with a given budget?".  This example builds the frontier for
+each strategy, answers both questions, and shows how the answer shifts
+when the deadline tightens.
+
+Run with::
+
+    python examples/sla_budget_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import StragglerModel, StrategyName, tradeoff_frontier
+from repro.core.frontier import max_pocd_for_budget, min_cost_for_pocd
+
+
+def report_frontier(model: StragglerModel, target_pocd: float, budget: float) -> None:
+    print(f"deadline = {model.deadline:.0f}s, target PoCD = {target_pocd}, budget = {budget:.0f}")
+    for strategy in StrategyName.chronos_strategies():
+        frontier = tradeoff_frontier(model, strategy, unit_price=1.0, r_max=10)
+        points = ", ".join(f"(r={p.r}, PoCD={p.pocd:.3f}, cost={p.cost:.0f})" for p in frontier)
+        print(f"  {strategy.display_name:10s} frontier: {points}")
+
+        cheapest = min_cost_for_pocd(frontier, target_pocd)
+        if cheapest is None:
+            print(f"    -> PoCD target {target_pocd} unreachable for this strategy")
+        else:
+            print(
+                f"    -> cheapest way to reach PoCD {target_pocd}: r={cheapest.r} "
+                f"at cost {cheapest.cost:.0f}"
+            )
+
+        affordable = max_pocd_for_budget(frontier, budget)
+        if affordable is None:
+            print(f"    -> nothing affordable within budget {budget:.0f}")
+        else:
+            print(
+                f"    -> best PoCD within budget {budget:.0f}: {affordable.pocd:.3f} "
+                f"(r={affordable.r})"
+            )
+    print()
+
+
+def main() -> None:
+    base = StragglerModel(
+        tmin=20.0, beta=1.4, num_tasks=20, deadline=120.0, tau_est=40.0, tau_kill=80.0
+    )
+    # A routine analytics job: a comfortable deadline.
+    report_frontier(base, target_pocd=0.99, budget=1800.0)
+    # A mission-critical run of the same job with a much tighter deadline.
+    report_frontier(base.with_deadline(70.0), target_pocd=0.99, budget=1800.0)
+
+
+if __name__ == "__main__":
+    main()

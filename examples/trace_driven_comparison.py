@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Trace-driven comparison of all six strategies on a synthetic Google trace.
+
+Mirrors the paper's large-scale simulation (Section VII-B) at laptop
+scale: generate a Google-trace-like stream of jobs, price VM time with a
+synthetic EC2 spot-price history, simulate every strategy on the same
+trace, and print the PoCD / cost / net-utility comparison.
+
+Run with::
+
+    python examples/trace_driven_comparison.py [num_jobs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ClusterConfig, SimulationRunner, StrategyName, StrategyParameters, build_strategy
+from repro.hadoop.config import HadoopConfig
+from repro.traces import GoogleTraceConfig, SpotPriceConfig, SpotPriceHistory, SyntheticGoogleTrace
+
+
+def main(num_jobs: int = 150) -> None:
+    spot = SpotPriceHistory(SpotPriceConfig(mean_price=1.0, seed=11))
+    trace = SyntheticGoogleTrace(GoogleTraceConfig.small(num_jobs=num_jobs, seed=11), spot_prices=spot)
+    jobs = trace.job_specs()
+    summary = trace.summary()
+    print(
+        f"trace: {summary['num_jobs']} jobs, {summary['total_tasks']} tasks, "
+        f"mean beta {summary['mean_beta']:.2f}, average spot price {spot.average_price():.2f}\n"
+    )
+
+    params = StrategyParameters(
+        tau_est=0.3, tau_kill=0.8, theta=1e-4, unit_price=1.0, timing_relative_to_tmin=True
+    )
+    runner = SimulationRunner(
+        cluster=ClusterConfig(num_nodes=0),
+        hadoop=HadoopConfig(mantri_threshold=10.0),
+        seed=11,
+    )
+
+    reports = {}
+    for name in StrategyName:
+        reports[name] = runner.run(jobs, build_strategy(name, params))
+
+    r_min = max(0.0, reports[StrategyName.HADOOP_NO_SPECULATION].pocd - 1e-6)
+    print(f"{'strategy':12s} {'PoCD':>7s} {'cost':>10s} {'att/task':>9s} {'utility':>9s}")
+    for name, report in reports.items():
+        utility = report.net_utility(r_min_pocd=r_min, theta=1e-4)
+        print(
+            f"{name.display_name:12s} {report.pocd:7.3f} {report.mean_cost:10.1f} "
+            f"{report.mean_attempts_per_task:9.2f} {utility:9.3f}"
+        )
+
+    best = max(reports, key=lambda n: reports[n].net_utility(r_min_pocd=r_min, theta=1e-4))
+    print(f"\nbest net utility: {best.display_name}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)

@@ -1,0 +1,68 @@
+"""Chronos reproduction: speculative execution for deadline-critical MapReduce.
+
+This package reproduces *"Chronos: A Unifying Optimization Framework for
+Speculative Execution of Deadline-critical MapReduce Jobs"* (Xu, Alamro,
+Lan, Subramaniam; ICDCS 2018).  It contains:
+
+* :mod:`repro.core` — closed-form PoCD and cost analysis of the Clone,
+  Speculative-Restart and Speculative-Resume strategies, the net-utility
+  objective and the Algorithm-1 optimizer,
+* :mod:`repro.distributions` — the Pareto execution-time model,
+* :mod:`repro.simulator` / :mod:`repro.hadoop` — a discrete-event
+  simulator of a Hadoop YARN MapReduce cluster (the substrate the paper's
+  prototype and trace-driven simulation run on),
+* :mod:`repro.strategies` — the three Chronos strategies plus the
+  Hadoop-NS, Hadoop-S and Mantri baselines,
+* :mod:`repro.traces` — synthetic Google-trace-like workloads, benchmark
+  profiles and spot-price histories,
+* :mod:`repro.experiments` — one harness per table/figure of the paper,
+* :mod:`repro.analysis` — Monte-Carlo validation, sensitivity sweeps and
+  the estimator ablation.
+
+Quick start::
+
+    from repro import StragglerModel, StrategyName, ChronosOptimizer
+
+    model = StragglerModel(tmin=20, beta=1.5, num_tasks=10, deadline=100,
+                           tau_est=40, tau_kill=80)
+    result = ChronosOptimizer(model, theta=1e-4).optimize(
+        StrategyName.SPECULATIVE_RESUME)
+    print(result.r_opt, result.pocd, result.cost)
+"""
+
+from repro.core import (
+    ChronosOptimizer,
+    OptimizationResult,
+    StragglerModel,
+    StrategyName,
+    expected_cost,
+    expected_machine_time,
+    net_utility,
+    pocd,
+    tradeoff_frontier,
+)
+from repro.distributions import ParetoDistribution
+from repro.simulator import ClusterConfig, JobSpec, SimulationReport, SimulationRunner
+from repro.strategies import StrategyParameters, build_strategy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "StragglerModel",
+    "StrategyName",
+    "ChronosOptimizer",
+    "OptimizationResult",
+    "pocd",
+    "expected_machine_time",
+    "expected_cost",
+    "net_utility",
+    "tradeoff_frontier",
+    "ParetoDistribution",
+    "SimulationRunner",
+    "SimulationReport",
+    "JobSpec",
+    "ClusterConfig",
+    "StrategyParameters",
+    "build_strategy",
+]

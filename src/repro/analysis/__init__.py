@@ -1,0 +1,36 @@
+"""Validation and sensitivity analysis.
+
+* :mod:`repro.analysis.validation` — Monte-Carlo validation of the
+  closed-form PoCD and machine-time expressions (Theorems 1-6) against
+  direct sampling of the attempt model,
+* :mod:`repro.analysis.sensitivity` — parameter sweeps of the analytical
+  model (deadline, beta, number of tasks) used by the ablation benches
+  and the documentation examples,
+* :mod:`repro.analysis.estimators` — ablation of the Chronos JVM-aware
+  completion-time estimator against the default Hadoop estimator.
+"""
+
+from repro.analysis.estimators import EstimatorAblationResult, estimator_ablation
+from repro.analysis.sensitivity import (
+    deadline_sensitivity,
+    optimal_r_sensitivity,
+    tail_sensitivity,
+)
+from repro.analysis.validation import (
+    MonteCarloResult,
+    monte_carlo_cost,
+    monte_carlo_pocd,
+    validate_strategy,
+)
+
+__all__ = [
+    "MonteCarloResult",
+    "monte_carlo_pocd",
+    "monte_carlo_cost",
+    "validate_strategy",
+    "deadline_sensitivity",
+    "tail_sensitivity",
+    "optimal_r_sensitivity",
+    "estimator_ablation",
+    "EstimatorAblationResult",
+]

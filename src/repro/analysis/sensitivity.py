@@ -1,0 +1,100 @@
+"""Analytical sensitivity sweeps.
+
+These helpers sweep one model parameter at a time and report how PoCD,
+cost and the optimal ``r`` respond.  They are used by the documentation
+examples, the ablation benches, and the property-style tests that check
+the qualitative claims of Section V (e.g. "as job deadlines increase and
+become sufficiently large, the optimal r approaches zero").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.model import StragglerModel, StrategyName
+from repro.core.optimizer import ChronosOptimizer
+from repro.core.pocd import pocd
+from repro.core.cost import expected_machine_time
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sensitivity sweep."""
+
+    parameter: float
+    pocd: float
+    machine_time: float
+    r_opt: int
+    utility: float
+
+
+def deadline_sensitivity(
+    model: StragglerModel,
+    strategy: StrategyName,
+    deadline_factors: Sequence[float],
+    theta: float = 1e-4,
+    unit_price: float = 1.0,
+) -> List[SweepPoint]:
+    """Sweep the deadline as a multiple of the mean task time.
+
+    Longer deadlines should need fewer extra attempts: the optimal ``r``
+    is non-increasing in the deadline beyond small-sample noise, and goes
+    to zero for sufficiently lax deadlines.
+    """
+    mean_time = model.mean_task_time
+    points = []
+    for factor in deadline_factors:
+        swept = model.with_deadline(factor * mean_time)
+        optimizer = ChronosOptimizer(swept, theta=theta, unit_price=unit_price)
+        result = optimizer.optimize(strategy)
+        points.append(
+            SweepPoint(
+                parameter=factor,
+                pocd=result.pocd,
+                machine_time=result.machine_time,
+                r_opt=result.r_opt,
+                utility=result.utility,
+            )
+        )
+    return points
+
+
+def tail_sensitivity(
+    model: StragglerModel,
+    strategy: StrategyName,
+    betas: Sequence[float],
+    r: int = 1,
+) -> Dict[float, Dict[str, float]]:
+    """Sweep the Pareto tail index at a fixed ``r``.
+
+    A heavier tail (smaller beta) raises both the straggler probability
+    and the expected machine time.
+    """
+    results = {}
+    for beta in betas:
+        swept = model.with_beta(beta)
+        results[beta] = {
+            "pocd": pocd(swept, strategy, r),
+            "machine_time": expected_machine_time(swept, strategy, r),
+            "straggler_probability": swept.straggler_probability,
+        }
+    return results
+
+
+def optimal_r_sensitivity(
+    model: StragglerModel,
+    strategy: StrategyName,
+    thetas: Sequence[float],
+    unit_price: float = 1.0,
+) -> Dict[float, int]:
+    """Optimal ``r`` as a function of the tradeoff factor ``theta``.
+
+    Larger theta puts more weight on cost, so the optimal ``r`` is
+    non-increasing in theta (the mechanism behind Figure 5).
+    """
+    results = {}
+    for theta in thetas:
+        optimizer = ChronosOptimizer(model, theta=theta, unit_price=unit_price)
+        results[theta] = optimizer.optimize(strategy).r_opt
+    return results

@@ -1,0 +1,54 @@
+"""Chronos analytical core.
+
+This subpackage implements the paper's primary contribution: closed-form
+PoCD (Probability of Completion before Deadline) and expected machine
+running time (cost) for the Clone, Speculative-Restart and
+Speculative-Resume strategies, the joint PoCD/cost "net utility"
+objective, and the hybrid optimization algorithm (Algorithm 1) that finds
+the optimal number of extra attempts ``r`` for each job.
+
+Typical usage::
+
+    from repro.core import StragglerModel, StrategyName, ChronosOptimizer
+
+    model = StragglerModel(tmin=20.0, beta=1.5, num_tasks=10, deadline=100.0,
+                           tau_est=40.0, tau_kill=80.0)
+    optimizer = ChronosOptimizer(model, theta=1e-4, unit_price=1.0,
+                                 r_min_pocd=0.3)
+    result = optimizer.optimize(StrategyName.SPECULATIVE_RESUME)
+    print(result.r_opt, result.pocd, result.cost, result.utility)
+"""
+
+from repro.core.comparison import (
+    clone_beats_resume_threshold,
+    compare_strategies,
+    dominance_report,
+)
+from repro.core.cost import expected_cost, expected_machine_time
+from repro.core.frontier import FrontierPoint, tradeoff_frontier
+from repro.core.model import StragglerModel, StrategyName
+from repro.core.optimizer import (
+    ChronosOptimizer,
+    OptimizationResult,
+    brute_force_optimum,
+)
+from repro.core.pocd import pocd
+from repro.core.utility import concavity_threshold, net_utility
+
+__all__ = [
+    "StragglerModel",
+    "StrategyName",
+    "pocd",
+    "expected_machine_time",
+    "expected_cost",
+    "net_utility",
+    "concavity_threshold",
+    "ChronosOptimizer",
+    "OptimizationResult",
+    "brute_force_optimum",
+    "compare_strategies",
+    "dominance_report",
+    "clone_beats_resume_threshold",
+    "tradeoff_frontier",
+    "FrontierPoint",
+]

@@ -1,0 +1,218 @@
+"""Closed-form expected machine running time (execution cost).
+
+Implements Theorems 2, 4 and 6 of the paper.  The *machine running time*
+of a job is the total VM time consumed by all attempts of all its tasks,
+including attempts that are later killed at ``tau_kill``.  Multiplying by
+the unit VM price gives the execution cost used in the net utility.
+
+* **Clone** (Theorem 2)::
+
+      E_Clone(T) = N * [ r * tau_kill + tmin + tmin / (beta*(r+1) - 1) ]
+
+* **Speculative-Restart** (Theorem 4) — conditional decomposition on the
+  original attempt missing/meeting the deadline, with the straggler branch
+  requiring a one-dimensional integral that we evaluate with
+  ``scipy.integrate.quad``.
+
+* **Speculative-Resume** (Theorem 6) — same decomposition, fully closed
+  form because resumed attempts are simply ``(1 - phi)``-scaled Pareto
+  variables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from scipy import integrate
+
+from repro.core.model import StragglerModel, StrategyName
+
+
+def _validate_r(r: float) -> None:
+    if r < 0:
+        raise ValueError(f"number of extra attempts r must be non-negative, got {r}")
+
+
+# ----------------------------------------------------------------------
+# Clone (Theorem 2)
+# ----------------------------------------------------------------------
+def expected_machine_time_clone(model: StragglerModel, r: float) -> float:
+    """Theorem 2: expected machine running time of a job under Clone.
+
+    Each task launches ``r + 1`` attempts at time zero; the ``r`` slower
+    attempts are killed at ``tau_kill`` and the fastest one runs to
+    completion, whose expected duration is ``E[min of r+1 Pareto]``
+    (Lemma 1).
+    """
+    _validate_r(r)
+    n_attempts = r + 1.0
+    denom = model.beta * n_attempts - 1.0
+    if denom <= 0:
+        return math.inf
+    expected_min = model.tmin + model.tmin / denom
+    per_task = r * model.tau_kill + expected_min
+    return model.num_tasks * per_task
+
+
+# ----------------------------------------------------------------------
+# Shared helpers for the speculative strategies (Theorems 4 and 6)
+# ----------------------------------------------------------------------
+def _non_straggler_branch(model: StragglerModel) -> float:
+    """``E[T | T <= D]``: machine time when the original attempt meets D."""
+    return model.attempt_distribution.conditional_mean_below(model.deadline)
+
+
+def _straggler_probability(model: StragglerModel) -> float:
+    return model.straggler_probability
+
+
+# ----------------------------------------------------------------------
+# Speculative-Restart (Theorem 4)
+# ----------------------------------------------------------------------
+def _restart_expected_min_after_detection(model: StragglerModel, r: float) -> float:
+    """``E[W_all | straggler]`` of Theorem 4.
+
+    ``W_all = min(T1 - tau_est, T2, ..., T_{r+1})`` where ``T1`` is the
+    straggling original attempt (conditioned on ``T1 > D``, hence Pareto
+    with scale ``D``) and ``T2..T_{r+1}`` are fresh Pareto attempts that
+    restart from byte zero at ``tau_est``.  Following the proof of
+    Theorem 4::
+
+        E[W_all] = tmin
+                   + int_{tmin}^{D - tau_est} (tmin / w)**(beta*r) dw
+                   + int_{D - tau_est}^{inf} (D / (w + tau_est))**beta
+                                             * (tmin / w)**(beta*r) dw
+    """
+    beta, tmin, tau_est, deadline = model.beta, model.tmin, model.tau_est, model.deadline
+    d_after = deadline - tau_est
+    if d_after <= tmin:
+        # Launching restarts after tau_est leaves less than tmin before the
+        # deadline; the analysis assumes d_after >= tmin (otherwise there is
+        # no reason to launch extra attempts).  Fall back to the conditional
+        # mean of the surviving original attempt measured after tau_est.
+        return model.attempt_distribution.conditional_mean_above(deadline) - tau_est
+
+    exponent = beta * r
+    # First integral over [tmin, D - tau_est]; finite range, handle the
+    # exponent == 1 case analytically to avoid division by zero.
+    if abs(exponent - 1.0) < 1e-12:
+        first = tmin * math.log(d_after / tmin)
+    elif exponent == 0.0:
+        first = d_after - tmin
+    else:
+        # Equivalent to tmin**e * (tmin**(1-e) - d**(1-e)) / (e - 1), written
+        # with the bounded ratio (tmin/d)**(e-1) so large exponents (probed by
+        # the continuous line search) cannot overflow.
+        first = tmin * (1.0 - (tmin / d_after) ** (exponent - 1.0)) / (exponent - 1.0)
+
+    # Second integral over [D - tau_est, inf).  The integrand decays like
+    # w**(-beta*(r+1)) which is integrable for beta*(r+1) > 1.
+    if beta * (r + 1.0) <= 1.0:
+        return math.inf
+
+    def integrand(w: float) -> float:
+        return (deadline / (w + tau_est)) ** beta * (tmin / w) ** exponent
+
+    second, _ = integrate.quad(integrand, d_after, math.inf, limit=200)
+    return tmin + first + second
+
+
+def expected_machine_time_restart(model: StragglerModel, r: float) -> float:
+    """Theorem 4: expected machine running time under Speculative-Restart."""
+    _validate_r(r)
+    if model.beta <= 1.0:
+        return math.inf
+    p_miss = _straggler_probability(model)
+    below = _non_straggler_branch(model)
+
+    if r == 0:
+        # No extra attempts are ever launched; the straggler simply runs to
+        # completion, so the conditional machine time is E[T | T > D].
+        above = model.attempt_distribution.conditional_mean_above(model.deadline)
+    else:
+        above = (
+            model.tau_est
+            + r * (model.tau_kill - model.tau_est)
+            + _restart_expected_min_after_detection(model, r)
+        )
+    per_task = below * (1.0 - p_miss) + above * p_miss
+    return model.num_tasks * per_task
+
+
+# ----------------------------------------------------------------------
+# Speculative-Resume (Theorem 6)
+# ----------------------------------------------------------------------
+def _resume_expected_min_after_detection(model: StragglerModel, r: float) -> float:
+    """``E[W_new]`` of Theorem 6: min of ``r + 1`` resumed attempts.
+
+    Each resumed attempt processes the remaining ``(1 - phi)`` fraction of
+    the data, so its execution time is ``(1 - phi) * T`` with ``T`` Pareto.
+    Following the paper's Lemma-1 style derivation::
+
+        E[W_new] = tmin + tmin * (1 - phi)**(beta*(r+1)) / (beta*(r+1) - 1)
+    """
+    remaining = model.remaining_work_fraction
+    exponent = model.beta * (r + 1.0)
+    if exponent <= 1.0:
+        return math.inf
+    return model.tmin + model.tmin * remaining**exponent / (exponent - 1.0)
+
+
+def expected_machine_time_resume(model: StragglerModel, r: float) -> float:
+    """Theorem 6: expected machine running time under Speculative-Resume.
+
+    Note that under S-Resume the straggling original attempt is killed at
+    ``tau_est`` and ``r + 1`` new attempts are launched, of which ``r`` are
+    killed at ``tau_kill``.
+    """
+    _validate_r(r)
+    if model.beta <= 1.0:
+        return math.inf
+    p_miss = _straggler_probability(model)
+    below = _non_straggler_branch(model)
+    above = (
+        model.tau_est
+        + r * (model.tau_kill - model.tau_est)
+        + _resume_expected_min_after_detection(model, r)
+    )
+    per_task = below * (1.0 - p_miss) + above * p_miss
+    return model.num_tasks * per_task
+
+
+def expected_machine_time_no_speculation(model: StragglerModel) -> float:
+    """Expected machine running time with one attempt per task (Hadoop-NS)."""
+    if model.beta <= 1.0:
+        return math.inf
+    return model.num_tasks * model.attempt_distribution.mean()
+
+
+_COST_FUNCTIONS: Dict[StrategyName, Callable[[StragglerModel, float], float]] = {
+    StrategyName.CLONE: expected_machine_time_clone,
+    StrategyName.SPECULATIVE_RESTART: expected_machine_time_restart,
+    StrategyName.SPECULATIVE_RESUME: expected_machine_time_resume,
+}
+
+
+def expected_machine_time(model: StragglerModel, strategy: StrategyName, r: float) -> float:
+    """Expected total VM time of a job under a Chronos strategy."""
+    if strategy not in _COST_FUNCTIONS:
+        raise ValueError(
+            f"strategy {strategy} has no closed-form machine time; use the simulator"
+        )
+    return _COST_FUNCTIONS[strategy](model, r)
+
+
+def expected_cost(
+    model: StragglerModel, strategy: StrategyName, r: float, unit_price: float = 1.0
+) -> float:
+    """Expected execution cost ``C * E(T)`` in dollars.
+
+    Parameters
+    ----------
+    unit_price:
+        On-spot price per unit VM time (the paper's ``C`` / ``gamma_i``).
+    """
+    if unit_price < 0:
+        raise ValueError("unit_price must be non-negative")
+    return unit_price * expected_machine_time(model, strategy, r)

@@ -1,0 +1,86 @@
+"""PoCD-vs-cost tradeoff frontier.
+
+Section I of the paper argues that the PoCD/cost tradeoff frontier "can be
+employed to determine user's budget for desired PoCD performance, and vice
+versa".  This module enumerates the frontier for a strategy by sweeping the
+number of extra attempts ``r`` and keeping the Pareto-optimal (PoCD up,
+cost down) points, and provides budget/PoCD lookups on top of it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.cost import expected_machine_time
+from repro.core.model import StragglerModel, StrategyName
+from repro.core.pocd import pocd
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One point on the PoCD/cost tradeoff frontier."""
+
+    r: int
+    pocd: float
+    machine_time: float
+    cost: float
+
+
+def tradeoff_frontier(
+    model: StragglerModel,
+    strategy: StrategyName,
+    unit_price: float = 1.0,
+    r_max: int = 16,
+) -> List[FrontierPoint]:
+    """Enumerate the Pareto-optimal (PoCD, cost) points for ``r in [0, r_max]``.
+
+    A point is kept if no other point offers at least the same PoCD at a
+    strictly lower cost.  The result is sorted by increasing ``r``.
+    """
+    if r_max < 0:
+        raise ValueError("r_max must be non-negative")
+    points = []
+    for r in range(r_max + 1):
+        machine_time = expected_machine_time(model, strategy, r)
+        if not math.isfinite(machine_time):
+            continue
+        points.append(
+            FrontierPoint(
+                r=r,
+                pocd=pocd(model, strategy, r),
+                machine_time=machine_time,
+                cost=unit_price * machine_time,
+            )
+        )
+    frontier = [
+        p
+        for p in points
+        if not any(
+            (other.pocd >= p.pocd and other.cost < p.cost)
+            or (other.pocd > p.pocd and other.cost <= p.cost)
+            for other in points
+        )
+    ]
+    return sorted(frontier, key=lambda p: p.r)
+
+
+def min_cost_for_pocd(
+    frontier: Sequence[FrontierPoint], target_pocd: float
+) -> Optional[FrontierPoint]:
+    """Cheapest frontier point meeting a PoCD target, or ``None`` if unreachable."""
+    feasible = [p for p in frontier if p.pocd >= target_pocd]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda p: p.cost)
+
+
+def max_pocd_for_budget(
+    frontier: Sequence[FrontierPoint], budget: float
+) -> Optional[FrontierPoint]:
+    """Highest-PoCD frontier point within a cost budget, or ``None``."""
+    affordable = [p for p in frontier if p.cost <= budget]
+    if not affordable:
+        return None
+    return max(affordable, key=lambda p: p.pocd)

@@ -1,0 +1,266 @@
+"""Algorithm 1: hybrid optimizer for the joint PoCD/cost problem.
+
+The paper's Algorithm 1 combines (i) a gradient-based line search over the
+concave region ``r >= ceil(Gamma_strategy)`` with (ii) an exhaustive scan
+of the (small) non-concave region ``0 <= r < ceil(Gamma_strategy)``, and
+returns the integer ``r`` that maximises the net utility.
+
+This module provides:
+
+* :class:`ChronosOptimizer` — the production optimizer used by the
+  per-job Application Master (and the experiment harness),
+* :func:`gradient_line_search` — the continuous Phase-1 search used inside
+  the optimizer,
+* :func:`brute_force_optimum` — a slow but obviously correct reference
+  optimizer used by the test suite to verify Theorem 9 (optimality).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.cost import expected_machine_time
+from repro.core.model import StragglerModel, StrategyName
+from repro.core.pocd import pocd
+from repro.core.utility import UtilityParameters, concavity_threshold, net_utility
+
+# Hard cap on the number of extra attempts ever considered.  The paper's
+# optimal r values are tiny (Figure 5 shows r in 1..6); 64 gives a wide
+# safety margin while keeping the exhaustive fallback cheap.
+DEFAULT_R_MAX = 64
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of optimizing a strategy for a single job."""
+
+    strategy: StrategyName
+    r_opt: int
+    utility: float
+    pocd: float
+    machine_time: float
+    cost: float
+    concavity_threshold: float
+    evaluations: int
+    utility_by_r: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any ``r`` achieved a finite utility (PoCD above Rmin)."""
+        return math.isfinite(self.utility)
+
+
+def gradient_line_search(
+    model: StragglerModel,
+    strategy: StrategyName,
+    params: UtilityParameters,
+    r_start: float,
+    gradient_tolerance: float = 1e-6,
+    backtrack_alpha: float = 0.3,
+    backtrack_xi: float = 0.5,
+    max_iterations: int = 200,
+    eps: float = 1e-4,
+) -> float:
+    """Phase 1 of Algorithm 1: gradient ascent with backtracking line search.
+
+    Operates on the continuous relaxation of ``r`` over the concave region
+    starting at ``r_start``.  Returns the (real-valued) maximiser; the
+    caller rounds to neighbouring integers.
+
+    Parameters mirror the paper's ``eta`` (gradient tolerance), ``alpha``
+    and ``xi`` backtracking constants.
+    """
+    r = max(0.0, r_start)
+
+    def utility_at(x: float) -> float:
+        return net_utility(model, strategy, max(0.0, x), params)
+
+    def gradient_at(x: float) -> float:
+        lo, hi = max(0.0, x - eps), x + eps
+        u_lo, u_hi = utility_at(lo), utility_at(hi)
+        if not (math.isfinite(u_lo) and math.isfinite(u_hi)):
+            return 0.0
+        return (u_hi - u_lo) / (hi - lo)
+
+    for _ in range(max_iterations):
+        grad = gradient_at(r)
+        if abs(grad) <= gradient_tolerance:
+            break
+        # Ascent direction in one dimension; clamp so a steep utility cannot
+        # propose absurdly large candidate r values in a single step.
+        direction = max(-16.0, min(16.0, grad))
+        step = 1.0
+        current = utility_at(r)
+        # Backtracking (Armijo) line search.
+        while step > 1e-8:
+            candidate = r + step * direction
+            if candidate < 0:
+                step *= backtrack_xi
+                continue
+            if utility_at(candidate) >= current + backtrack_alpha * step * grad * direction:
+                break
+            step *= backtrack_xi
+        new_r = max(0.0, r + step * direction)
+        if abs(new_r - r) < 1e-9:
+            break
+        r = new_r
+    return r
+
+
+def brute_force_optimum(
+    model: StragglerModel,
+    strategy: StrategyName,
+    params: UtilityParameters,
+    r_max: int = DEFAULT_R_MAX,
+) -> Tuple[int, float]:
+    """Reference optimizer: evaluate every integer ``r`` in ``[0, r_max]``.
+
+    Returns ``(r_opt, utility)``.  Used by tests to validate Theorem 9
+    (Algorithm 1 finds the global optimum).
+    """
+    best_r, best_u = 0, -math.inf
+    for r in range(r_max + 1):
+        u = net_utility(model, strategy, r, params)
+        if u > best_u:
+            best_r, best_u = r, u
+    return best_r, best_u
+
+
+class ChronosOptimizer:
+    """Joint PoCD/cost optimizer for a single job (Algorithm 1).
+
+    Parameters
+    ----------
+    model:
+        The job's straggler model (Pareto parameters, deadline, timing).
+    theta:
+        PoCD/cost tradeoff factor.
+    unit_price:
+        Price per unit VM time.
+    r_min_pocd:
+        Minimum PoCD ``Rmin`` below which the utility is ``-inf``.
+    r_max:
+        Safety cap on the number of extra attempts considered.
+    """
+
+    def __init__(
+        self,
+        model: StragglerModel,
+        theta: float = 1e-4,
+        unit_price: float = 1.0,
+        r_min_pocd: float = 0.0,
+        r_max: int = DEFAULT_R_MAX,
+    ) -> None:
+        if r_max < 0:
+            raise ValueError("r_max must be non-negative")
+        self._model = model
+        self._params = UtilityParameters(
+            theta=theta, unit_price=unit_price, r_min_pocd=r_min_pocd
+        )
+        self._r_max = r_max
+
+    @property
+    def model(self) -> StragglerModel:
+        """The straggler model being optimized."""
+        return self._model
+
+    @property
+    def parameters(self) -> UtilityParameters:
+        """The utility parameters (theta, unit price, Rmin)."""
+        return self._params
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def utility(self, strategy: StrategyName, r: int) -> float:
+        """Net utility of ``strategy`` at integer ``r``."""
+        return net_utility(self._model, strategy, r, self._params)
+
+    def optimize(self, strategy: StrategyName) -> OptimizationResult:
+        """Run Algorithm 1 for one strategy and return the optimal ``r``."""
+        gamma = concavity_threshold(self._model, strategy)
+        evaluations: Dict[int, float] = {}
+
+        def record(r: int) -> float:
+            if r not in evaluations:
+                evaluations[r] = net_utility(self._model, strategy, r, self._params)
+            return evaluations[r]
+
+        # Phase 1: gradient-based search over the concave region.
+        candidates = set()
+        if math.isfinite(gamma):
+            start = max(0, math.ceil(gamma))
+            start = min(start, self._r_max)
+            r_continuous = gradient_line_search(self._model, strategy, self._params, start)
+            for candidate in (math.floor(r_continuous), math.ceil(r_continuous)):
+                candidate = int(min(max(candidate, 0), self._r_max))
+                candidates.add(candidate)
+            # Integer hill-climb around the rounded optimum guards against
+            # line-search inaccuracy on flat objectives.
+            candidates.update(self._hill_climb(strategy, min(candidates), record))
+            non_concave_upper = min(start, self._r_max + 1)
+        else:
+            # Concavity threshold unavailable (degenerate model) - fall back
+            # to a full exhaustive scan.
+            non_concave_upper = self._r_max + 1
+
+        # Phase 2: exhaustive scan over the non-concave region [0, ceil(Gamma)).
+        for r in range(0, non_concave_upper):
+            candidates.add(r)
+
+        for r in sorted(candidates):
+            record(r)
+
+        best_r = max(evaluations, key=lambda r: (evaluations[r], -r))
+        best_u = evaluations[best_r]
+        machine_time = expected_machine_time(self._model, strategy, best_r)
+        return OptimizationResult(
+            strategy=strategy,
+            r_opt=best_r,
+            utility=best_u,
+            pocd=pocd(self._model, strategy, best_r),
+            machine_time=machine_time,
+            cost=self._params.unit_price * machine_time,
+            concavity_threshold=gamma,
+            evaluations=len(evaluations),
+            utility_by_r=dict(sorted(evaluations.items())),
+        )
+
+    def optimize_all(
+        self, strategies: Optional[Iterable[StrategyName]] = None
+    ) -> Dict[StrategyName, OptimizationResult]:
+        """Optimize every (Chronos) strategy and return results keyed by name."""
+        strategies = tuple(strategies) if strategies else StrategyName.chronos_strategies()
+        return {strategy: self.optimize(strategy) for strategy in strategies}
+
+    def best_strategy(
+        self, strategies: Optional[Iterable[StrategyName]] = None
+    ) -> OptimizationResult:
+        """The strategy/r pair with the highest net utility."""
+        results = self.optimize_all(strategies)
+        return max(results.values(), key=lambda res: res.utility)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _hill_climb(self, strategy, start: int, record) -> set:
+        """Integer hill climb from ``start`` within the concave region."""
+        visited = {start}
+        current = start
+        current_value = record(current)
+        # Walk upward while the utility improves.
+        r = current + 1
+        while r <= self._r_max and record(r) > current_value:
+            current, current_value = r, record(r)
+            visited.add(r)
+            r += 1
+        # Walk downward while the utility improves (and stay non-negative).
+        r = start - 1
+        current, current_value = start, record(start)
+        while r >= 0 and record(r) > current_value:
+            current, current_value = r, record(r)
+            visited.add(r)
+            r -= 1
+        return visited

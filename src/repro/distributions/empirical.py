@@ -1,0 +1,62 @@
+"""Empirical (sample-backed) execution-time distribution.
+
+Trace-driven simulation matches per-job execution-time distributions from a
+real trace.  When the trace provides raw durations rather than fitted Pareto
+parameters, this class wraps them into the common distribution interface so
+they can be plugged into the simulator unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, Distribution
+
+
+class EmpiricalDistribution(Distribution):
+    """Distribution defined by a finite sample of observed durations.
+
+    Sampling draws uniformly (with replacement) from the observed values;
+    the CDF is the empirical CDF; quantiles use linear interpolation.
+    """
+
+    def __init__(self, samples: Sequence[float]):
+        values = np.asarray(list(samples), dtype=float)
+        if values.size == 0:
+            raise ValueError("EmpiricalDistribution requires at least one sample")
+        if np.any(values <= 0):
+            raise ValueError("all samples must be positive execution times")
+        self._sorted = np.sort(values)
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The sorted observed samples (read-only copy)."""
+        return self._sorted.copy()
+
+    def sample(self, size: int = 1, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = self._resolve_rng(rng)
+        return rng.choice(self._sorted, size=size, replace=True)
+
+    def cdf(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        counts = np.searchsorted(self._sorted, t, side="right")
+        return counts / self._sorted.size
+
+    def quantile(self, q: ArrayLike) -> np.ndarray:
+        q = self._as_array(q)
+        if np.any((q < 0) | (q > 1)):
+            raise ValueError("quantile argument must lie in [0, 1]")
+        return np.quantile(self._sorted, q)
+
+    def mean(self) -> float:
+        return float(self._sorted.mean())
+
+    def minimum(self) -> float:
+        """Smallest observed duration (used as a tmin estimate)."""
+        return float(self._sorted[0])
+
+    def maximum(self) -> float:
+        """Largest observed duration."""
+        return float(self._sorted[-1])

@@ -1,0 +1,49 @@
+"""Deterministically shifted distributions.
+
+The Chronos prototype explicitly accounts for JVM launch time: an attempt's
+wall-clock completion is (launch delay) + (data-processing time).  The
+simulator models this by shifting the processing-time distribution by the
+JVM startup delay; this wrapper provides that shift for any base
+distribution without duplicating sampling logic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, Distribution
+
+
+class ShiftedDistribution(Distribution):
+    """``T' = T + offset`` for a base distribution ``T`` and fixed offset."""
+
+    def __init__(self, base: Distribution, offset: float):
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        self._base = base
+        self._offset = float(offset)
+
+    @property
+    def base(self) -> Distribution:
+        """The wrapped base distribution."""
+        return self._base
+
+    @property
+    def offset(self) -> float:
+        """The deterministic shift added to every sample."""
+        return self._offset
+
+    def sample(self, size: int = 1, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        return self._base.sample(size=size, rng=rng) + self._offset
+
+    def cdf(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        return self._base.cdf(t - self._offset)
+
+    def quantile(self, q: ArrayLike) -> np.ndarray:
+        return self._base.quantile(q) + self._offset
+
+    def mean(self) -> float:
+        return self._base.mean() + self._offset

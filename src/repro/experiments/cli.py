@@ -1,0 +1,108 @@
+"""Command-line entry point for the experiment harness.
+
+Installed as ``chronos-experiments``.  Examples::
+
+    chronos-experiments --list
+    chronos-experiments figure2 --scale smoke
+    chronos-experiments all --scale small --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.experiments.common import ExperimentScale, ExperimentTable
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+
+def _tables_of(result) -> List[ExperimentTable]:
+    """Normalise an experiment result to a flat list of tables."""
+    if isinstance(result, ExperimentTable):
+        return [result]
+    if isinstance(result, dict):
+        return list(result.values())
+    raise TypeError(f"unexpected experiment result type: {type(result)!r}")
+
+
+#: Registry of runnable experiments.
+EXPERIMENTS: Dict[str, Callable[..., object]] = {
+    "figure2": run_figure2,
+    "table1": run_table1,
+    "table2": run_table2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for ``chronos-experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="chronos-experiments",
+        description="Reproduce the tables and figures of the Chronos paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment names (figure2, table1, table2, figure3, figure4, figure5) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in ExperimentScale],
+        default=ExperimentScale.SMALL.value,
+        help="experiment scale (smoke: seconds, small: default, full: paper scale)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    return parser
+
+
+def run_experiments(
+    names: Iterable[str], scale: ExperimentScale, seed: int
+) -> List[ExperimentTable]:
+    """Run the named experiments and return all produced tables."""
+    selected = list(names)
+    if not selected or "all" in selected:
+        selected = list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {', '.join(unknown)}")
+    tables: List[ExperimentTable] = []
+    for name in selected:
+        tables.extend(_tables_of(EXPERIMENTS[name](scale=scale, seed=seed)))
+    return tables
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    scale = ExperimentScale(args.scale)
+    started = time.time()
+    try:
+        tables = run_experiments(args.experiments, scale=scale, seed=args.seed)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    for table in tables:
+        print(table.to_text())
+        print()
+    print(f"completed {len(tables)} tables in {time.time() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

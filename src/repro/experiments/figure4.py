@@ -1,0 +1,93 @@
+"""Figure 4: sweeping the Pareto tail index ``beta``.
+
+Trace-driven simulation comparing Hadoop-NS, Hadoop-S, Clone, S-Restart
+and S-Resume while forcing every job's tail index to a common ``beta`` in
+``1.1 ... 1.9`` and setting each job's deadline to twice its mean task
+execution time.
+
+Expected shape: a smaller beta means a heavier tail, so every strategy's
+cost is higher at small beta and decreases with beta; the optimal ``r``
+also decreases with beta; the Chronos strategies dominate the baselines
+in utility across the whole range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.model import StrategyName
+from repro.experiments.common import ExperimentScale, ExperimentTable, reference_pocd, run_strategy_suite
+from repro.experiments.table1 import trace_jobs
+from repro.hadoop.config import HadoopConfig
+from repro.simulator.cluster import ClusterConfig
+from repro.strategies import StrategyParameters
+
+#: beta sweep (paper's Figure 4 x-axis).
+BETA_VALUES = (1.1, 1.3, 1.5, 1.7, 1.9)
+
+#: Strategies compared in Figure 4.
+FIGURE4_STRATEGIES = (
+    StrategyName.HADOOP_NO_SPECULATION,
+    StrategyName.HADOOP_SPECULATION,
+    StrategyName.CLONE,
+    StrategyName.SPECULATIVE_RESTART,
+    StrategyName.SPECULATIVE_RESUME,
+)
+
+THETA = 1e-4
+TAU_EST_FACTOR = 0.3
+TAU_KILL_FACTOR = 0.8
+
+
+def run_figure4(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    seed: int = 0,
+    beta_values: Sequence[float] = BETA_VALUES,
+) -> Dict[str, ExperimentTable]:
+    """Reproduce Figure 4(a)-(c).
+
+    Returns tables keyed by ``"pocd"``, ``"cost"`` and ``"utility"``; one
+    row per beta, one column per strategy.
+    """
+    columns = [name.display_name for name in FIGURE4_STRATEGIES]
+    tables = {
+        "pocd": ExperimentTable("figure4a", "PoCD vs beta", columns),
+        "cost": ExperimentTable("figure4b", "Cost vs beta", columns),
+        "utility": ExperimentTable("figure4c", "Utility vs beta", columns),
+    }
+    cluster = ClusterConfig(num_nodes=0)
+    hadoop = HadoopConfig()
+    params = StrategyParameters(
+        tau_est=TAU_EST_FACTOR,
+        tau_kill=TAU_KILL_FACTOR,
+        theta=THETA,
+        unit_price=1.0,
+        timing_relative_to_tmin=True,
+    )
+
+    for beta in beta_values:
+        jobs = trace_jobs(scale, seed, beta_override=beta)
+        reports = run_strategy_suite(
+            jobs, FIGURE4_STRATEGIES, params, cluster=cluster, hadoop=hadoop, seed=seed
+        )
+        r_min = reference_pocd(reports)
+        label = f"beta={beta:.1f}"
+        tables["pocd"].add_row(
+            label, {name.display_name: reports[name].pocd for name in FIGURE4_STRATEGIES}
+        )
+        tables["cost"].add_row(
+            label, {name.display_name: reports[name].mean_cost for name in FIGURE4_STRATEGIES}
+        )
+        tables["utility"].add_row(
+            label,
+            {
+                name.display_name: reports[name].net_utility(r_min_pocd=r_min, theta=THETA)
+                for name in FIGURE4_STRATEGIES
+            },
+        )
+    for table in tables.values():
+        table.notes = (
+            "deadline = 2 x mean task time per job (deadline_factor=2 in the trace config), "
+            f"theta={THETA}"
+        )
+    return tables

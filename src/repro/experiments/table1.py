@@ -1,0 +1,110 @@
+"""Table I: sweeping the straggler-detection time ``tau_est``.
+
+Trace-driven simulation that varies ``tau_est`` while keeping the
+speculation window fixed (``tau_kill - tau_est = 0.5 * tmin``).  The paper
+reports PoCD, cost and utility for:
+
+* Clone at ``tau_est = 0`` (the only possible value for a proactive
+  strategy), ``tau_kill = 0.5 * tmin``,
+* S-Restart and S-Resume at ``tau_est`` in ``{0.1, 0.3, 0.5} * tmin``.
+
+Expected shape: under the speculative strategies, a small ``tau_est``
+over-detects stragglers (high PoCD, high cost), a large ``tau_est``
+detects them too late; the best net utility lands at an intermediate
+value (0.3 * tmin in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.model import StrategyName
+from repro.experiments.common import ExperimentScale, ExperimentTable, run_strategy_suite
+from repro.hadoop.config import HadoopConfig
+from repro.simulator.cluster import ClusterConfig
+from repro.simulator.entities import JobSpec
+from repro.strategies import StrategyParameters
+from repro.traces.google_trace import GoogleTraceConfig, SyntheticGoogleTrace
+
+#: tau_est sweep values, as multiples of tmin (paper's Table I).
+TAU_EST_FACTORS = (0.1, 0.3, 0.5)
+#: Fixed speculation window: tau_kill - tau_est = 0.5 * tmin.
+WINDOW_FACTOR = 0.5
+#: Tradeoff factor used for the utility column.
+THETA = 1e-4
+#: Full-scale number of trace jobs (the paper replays 2700).
+FULL_TRACE_JOBS = 400
+
+
+def trace_jobs(
+    scale: ExperimentScale, seed: int, beta_override: Optional[float] = None
+) -> List[JobSpec]:
+    """Google-trace-like jobs at the requested scale."""
+    num_jobs = scale.scaled_jobs(FULL_TRACE_JOBS, minimum=30)
+    config = GoogleTraceConfig.small(num_jobs=num_jobs, seed=seed)
+    return SyntheticGoogleTrace(config).job_specs(beta_override=beta_override)
+
+
+def run_table1(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    seed: int = 0,
+    theta: float = THETA,
+) -> ExperimentTable:
+    """Reproduce Table I (PoCD / cost / utility vs ``tau_est``)."""
+    jobs = trace_jobs(scale, seed)
+    table = ExperimentTable(
+        "table1",
+        "Performance with varying tau_est (tau_kill - tau_est = 0.5 tmin)",
+        ["tau_est", "tau_kill", "pocd", "cost", "utility"],
+    )
+
+    rows: List[tuple] = [(StrategyName.CLONE, 0.0, WINDOW_FACTOR)]
+    for factor in TAU_EST_FACTORS:
+        rows.append((StrategyName.SPECULATIVE_RESTART, factor, factor + WINDOW_FACTOR))
+    for factor in TAU_EST_FACTORS:
+        rows.append((StrategyName.SPECULATIVE_RESUME, factor, factor + WINDOW_FACTOR))
+
+    _fill_rows(table, jobs, rows, seed=seed, theta=theta)
+    table.notes = (
+        f"{len(jobs)} trace jobs, timing expressed as multiples of each job's tmin, "
+        f"theta={theta}"
+    )
+    return table
+
+
+def _fill_rows(
+    table: ExperimentTable,
+    jobs: Sequence[JobSpec],
+    rows: Sequence[tuple],
+    seed: int,
+    theta: float,
+) -> None:
+    """Simulate each (strategy, tau_est, tau_kill) row and add it to the table."""
+    cluster = ClusterConfig(num_nodes=0)  # unbounded: the paper's datacenter is large
+    hadoop = HadoopConfig()
+    for strategy_name, tau_est_factor, tau_kill_factor in rows:
+        params = StrategyParameters(
+            tau_est=tau_est_factor,
+            tau_kill=tau_kill_factor,
+            theta=theta,
+            unit_price=1.0,
+            timing_relative_to_tmin=True,
+        )
+        reports = run_strategy_suite(
+            jobs, [strategy_name], params, cluster=cluster, hadoop=hadoop, seed=seed
+        )
+        report = reports[strategy_name]
+        label = (
+            f"{strategy_name.display_name} @ tau_est={tau_est_factor:.1f}tmin, "
+            f"tau_kill={tau_kill_factor:.1f}tmin"
+        )
+        table.add_row(
+            label,
+            {
+                "tau_est": tau_est_factor,
+                "tau_kill": tau_kill_factor,
+                "pocd": report.pocd,
+                "cost": report.mean_cost,
+                "utility": report.net_utility(r_min_pocd=0.0, theta=theta),
+            },
+        )

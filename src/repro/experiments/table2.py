@@ -1,0 +1,53 @@
+"""Table II: sweeping the attempt-pruning time ``tau_kill``.
+
+Trace-driven simulation that varies ``tau_kill`` in ``{0.4, 0.6, 0.8} *
+tmin`` while keeping ``tau_est`` fixed (0 for Clone, ``0.3 * tmin`` for
+the speculative strategies).
+
+Expected shape: a larger ``tau_kill`` lets clone/speculative attempts run
+longer before pruning, so cost increases monotonically with ``tau_kill``;
+PoCD is not monotone because the optimizer reduces ``r`` to compensate
+for the higher per-attempt cost.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.model import StrategyName
+from repro.experiments.common import ExperimentScale, ExperimentTable
+from repro.experiments.table1 import THETA, _fill_rows, trace_jobs
+
+#: tau_kill sweep values, as multiples of tmin (paper's Table II).
+TAU_KILL_FACTORS = (0.4, 0.6, 0.8)
+#: Fixed detection time for the speculative strategies.
+TAU_EST_FACTOR = 0.3
+
+
+def run_table2(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    seed: int = 0,
+    theta: float = THETA,
+) -> ExperimentTable:
+    """Reproduce Table II (PoCD / cost / utility vs ``tau_kill``)."""
+    jobs = trace_jobs(scale, seed)
+    table = ExperimentTable(
+        "table2",
+        "Performance with varying tau_kill (tau_est fixed)",
+        ["tau_est", "tau_kill", "pocd", "cost", "utility"],
+    )
+
+    rows: List[tuple] = []
+    for factor in TAU_KILL_FACTORS:
+        rows.append((StrategyName.CLONE, 0.0, factor))
+    for factor in TAU_KILL_FACTORS:
+        rows.append((StrategyName.SPECULATIVE_RESTART, TAU_EST_FACTOR, factor))
+    for factor in TAU_KILL_FACTORS:
+        rows.append((StrategyName.SPECULATIVE_RESUME, TAU_EST_FACTOR, factor))
+
+    _fill_rows(table, jobs, rows, seed=seed, theta=theta)
+    table.notes = (
+        f"{len(jobs)} trace jobs, timing expressed as multiples of each job's tmin, "
+        f"theta={theta}"
+    )
+    return table

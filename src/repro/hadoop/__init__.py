@@ -1,0 +1,29 @@
+"""Hadoop YARN control-plane model.
+
+Chronos is prototyped on Hadoop YARN, whose control plane consists of a
+central Resource Manager (RM), a per-application Application Master (AM)
+and per-node Node Managers (NM).  This subpackage models those components
+on top of the discrete-event engine:
+
+* :class:`~repro.hadoop.resource_manager.ResourceManager` — grants
+  containers from the cluster, queueing requests when it is full,
+* :class:`~repro.hadoop.node_manager.NodeManager` — runs attempts inside
+  containers, modelling JVM launch delay and completion/kill events,
+* :class:`~repro.hadoop.app_master.ApplicationMaster` — per-job logic:
+  creates tasks, requests containers, runs the speculation strategy's
+  hooks, monitors progress and records metrics,
+* :class:`~repro.hadoop.config.HadoopConfig` — runtime overheads and
+  speculation-related knobs.
+"""
+
+from repro.hadoop.app_master import ApplicationMaster
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.node_manager import NodeManager
+from repro.hadoop.resource_manager import ResourceManager
+
+__all__ = [
+    "ApplicationMaster",
+    "HadoopConfig",
+    "NodeManager",
+    "ResourceManager",
+]

@@ -1,0 +1,315 @@
+"""Application Master: per-job task management and speculation hooks.
+
+The AM is the per-job brain: it creates the job's tasks, asks the RM for
+containers, launches attempts on NMs, watches progress, runs the plugged
+speculation strategy's hooks (planning ``r`` at submission, detecting
+stragglers at ``tau_est``, pruning attempts at ``tau_kill``, periodic
+checks for the baselines), and records metrics when the job finishes.
+
+Strategies interact with the AM exclusively through the public helper
+methods (``launch_attempt``, ``kill_attempt``, ``estimate_completion``,
+``keep_best_attempt`` ...), which keeps every strategy implementation
+small and free of simulator plumbing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.model import StrategyName
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.node_manager import NodeManager
+from repro.hadoop.resource_manager import ContainerRequest, ResourceManager
+from repro.simulator.cluster import Container
+from repro.simulator.engine import Event, SimulationEngine
+from repro.simulator.entities import Attempt, Job, Task
+from repro.simulator.metrics import JobRecord, MetricsCollector
+from repro.simulator.progress import (
+    CompletionTimeEstimator,
+    chronos_estimate_completion,
+    observed_progress,
+)
+
+
+class ApplicationMaster:
+    """Per-job controller executing one speculation strategy."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        job: Job,
+        strategy: "SpeculationStrategyProtocol",
+        resource_manager: ResourceManager,
+        node_manager: NodeManager,
+        config: HadoopConfig,
+        metrics: Optional[MetricsCollector] = None,
+        estimator: CompletionTimeEstimator = chronos_estimate_completion,
+        rng: Optional[np.random.Generator] = None,
+        on_job_complete: Optional[Callable[[Job, JobRecord], None]] = None,
+    ):
+        self._engine = engine
+        self._job = job
+        self._strategy = strategy
+        self._rm = resource_manager
+        self._nm = node_manager
+        self._config = config
+        self._metrics = metrics
+        self._estimator = estimator
+        self._rng = rng if rng is not None else engine.spawn_rng()
+        self._on_job_complete = on_job_complete
+        self._pending_requests: Dict[int, ContainerRequest] = {}
+        self._scheduled_events: List[Event] = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Read-only accessors used by strategies
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> SimulationEngine:
+        """The simulation engine."""
+        return self._engine
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._engine.now
+
+    @property
+    def job(self) -> Job:
+        """The job this AM manages."""
+        return self._job
+
+    @property
+    def config(self) -> HadoopConfig:
+        """Runtime configuration."""
+        return self._config
+
+    @property
+    def resource_manager(self) -> ResourceManager:
+        """The cluster resource manager (for capacity queries)."""
+        return self._rm
+
+    @property
+    def elapsed(self) -> float:
+        """Time since the job started (0 before start)."""
+        if self._job.start_time is None:
+            return 0.0
+        return self._engine.now - self._job.start_time
+
+    @property
+    def absolute_deadline(self) -> float:
+        """The job's deadline as an absolute simulation time."""
+        return self._job.spec.absolute_deadline
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job has completed and been recorded."""
+        return self._finished
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Plan the job and launch the initial attempts of every task."""
+        if self._job.start_time is not None:
+            raise RuntimeError(f"job {self._job.job_id} was already started")
+        self._job.start_time = self._engine.now
+        r = int(self._strategy.plan_job(self))
+        if r < 0:
+            raise ValueError("strategy returned a negative number of extra attempts")
+        self._job.extra_attempts = r
+        for task in self._job.tasks:
+            count = max(1, int(self._strategy.initial_attempt_count(self, task)))
+            for index in range(count):
+                self.launch_attempt(task, start_offset=0.0, is_original=(index == 0))
+        self._strategy.on_job_start(self)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args) -> Optional[Event]:
+        """Schedule a strategy callback; skipped automatically once the job ends."""
+        if self._finished:
+            return None
+
+        def guarded() -> None:
+            if not self._finished:
+                callback(*args)
+
+        event = self._engine.schedule_after(delay, guarded)
+        self._scheduled_events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Attempt management
+    # ------------------------------------------------------------------
+    def launch_attempt(
+        self, task: Task, start_offset: float = 0.0, is_original: bool = False
+    ) -> Optional[Attempt]:
+        """Create an attempt for ``task`` and request a container for it."""
+        if task.is_complete or self._finished:
+            return None
+        attempt = Attempt(
+            task=task,
+            created_time=self._engine.now,
+            start_offset=start_offset,
+            is_original=is_original,
+        )
+        task.add_attempt(attempt)
+        request = self._rm.request_container(
+            lambda container, a=attempt: self._on_container_granted(a, container)
+        )
+        self._pending_requests[attempt.attempt_id] = request
+        return attempt
+
+    def kill_attempt(self, attempt: Attempt) -> None:
+        """Kill an attempt, cancelling its container request if still queued."""
+        request = self._pending_requests.pop(attempt.attempt_id, None)
+        if request is not None and attempt.status.value == "waiting":
+            request.cancel()
+            attempt.mark_killed(self._engine.now)
+            return
+        if attempt.is_active:
+            self._nm.kill(attempt)
+        elif not attempt.is_finished:
+            attempt.mark_killed(self._engine.now)
+
+    def kill_all_but(self, task: Task, survivor: Attempt) -> int:
+        """Kill every live attempt of ``task`` except ``survivor``; return count."""
+        killed = 0
+        for attempt in list(task.live_attempts):
+            if attempt is survivor:
+                continue
+            self.kill_attempt(attempt)
+            killed += 1
+        return killed
+
+    def keep_best_attempt(self, task: Task, by: str = "progress") -> Optional[Attempt]:
+        """Keep the best live attempt of ``task`` and kill the rest.
+
+        Parameters
+        ----------
+        by:
+            ``"progress"`` keeps the attempt with the highest progress
+            score (Clone at ``tau_kill``); ``"estimate"`` keeps the attempt
+            with the smallest estimated completion time (the speculative
+            strategies at ``tau_kill``).
+        """
+        live = task.live_attempts
+        if not live:
+            return None
+        if by == "progress":
+            best = max(live, key=lambda a: observed_progress(a, self._engine.now))
+        elif by == "estimate":
+            best = min(live, key=lambda a: self.estimate_completion(a))
+        else:
+            raise ValueError(f"unknown selection criterion: {by!r}")
+        self.kill_all_but(task, best)
+        return best
+
+    def speculative_attempt_count(self, task: Task) -> int:
+        """Number of non-original attempts ever created for ``task``."""
+        return sum(1 for attempt in task.attempts if not attempt.is_original)
+
+    # ------------------------------------------------------------------
+    # Progress / estimation helpers
+    # ------------------------------------------------------------------
+    def progress(self, attempt: Attempt) -> float:
+        """Observable progress score of an attempt at the current time."""
+        return observed_progress(attempt, self._engine.now)
+
+    def estimate_completion(self, attempt: Attempt) -> float:
+        """Estimated absolute completion time of an attempt."""
+        return self._estimator(attempt, self._engine.now)
+
+    def estimate_task_completion(self, task: Task) -> float:
+        """Most optimistic estimated completion time across live attempts."""
+        estimates = [self.estimate_completion(a) for a in task.live_attempts]
+        finite = [e for e in estimates if math.isfinite(e)]
+        if not finite:
+            return math.inf
+        return min(finite)
+
+    def completed_task_durations(self) -> List[float]:
+        """Execution durations of already-finished tasks (for baselines)."""
+        durations = []
+        for task in self._job.tasks:
+            if task.completion_time is None or self._job.start_time is None:
+                continue
+            durations.append(task.completion_time - self._job.start_time)
+        return durations
+
+    def sample_processing_time(self, work_fraction: float) -> float:
+        """Sample the processing time for an attempt covering ``work_fraction``."""
+        if not 0.0 < work_fraction <= 1.0:
+            raise ValueError("work_fraction must lie in (0, 1]")
+        full = self._job.spec.attempt_distribution.sample_one(rng=self._rng)
+        return full * work_fraction
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _on_container_granted(self, attempt: Attempt, container: Container) -> None:
+        self._pending_requests.pop(attempt.attempt_id, None)
+        if attempt.is_finished or attempt.task.is_complete or self._finished:
+            # The attempt became irrelevant while the request was queued.
+            self._rm.release_container(container)
+            if not attempt.is_finished:
+                attempt.mark_killed(self._engine.now)
+            return
+        processing_time = self.sample_processing_time(attempt.work_fraction)
+        self._nm.launch(attempt, container, processing_time, self._on_attempt_complete)
+
+    def _on_attempt_complete(self, attempt: Attempt) -> None:
+        task = attempt.task
+        if task.is_complete:
+            return
+        task.mark_complete(self._engine.now)
+        # Redundant attempts are killed as soon as one attempt succeeds.
+        for other in list(task.live_attempts):
+            self.kill_attempt(other)
+        self._strategy.on_task_complete(self, task, attempt)
+        if self._job.try_finish(self._engine.now):
+            self._finalize()
+
+    def _finalize(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        for event in self._scheduled_events:
+            event.cancel()
+        self._scheduled_events.clear()
+        record = None
+        if self._metrics is not None:
+            record = self._metrics.record_job(self._job, self._engine.now)
+        if self._on_job_complete is not None:
+            self._on_job_complete(self._job, record)
+
+
+class SpeculationStrategyProtocol:
+    """Documentation-only protocol describing what the AM expects.
+
+    Concrete strategies live in :mod:`repro.strategies`; this class exists
+    so that the AM module documents the contract without importing the
+    strategies package (avoiding a circular dependency).
+    """
+
+    name: StrategyName
+
+    def plan_job(self, am: ApplicationMaster) -> int:  # pragma: no cover - protocol
+        """Return the number of extra attempts ``r`` to use for this job."""
+        raise NotImplementedError
+
+    def initial_attempt_count(self, am: ApplicationMaster, task: Task) -> int:  # pragma: no cover
+        """How many attempts to launch for ``task`` at job start."""
+        raise NotImplementedError
+
+    def on_job_start(self, am: ApplicationMaster) -> None:  # pragma: no cover - protocol
+        """Schedule any strategy-specific checks (tau_est, tau_kill, ...)."""
+        raise NotImplementedError
+
+    def on_task_complete(
+        self, am: ApplicationMaster, task: Task, attempt: Attempt
+    ) -> None:  # pragma: no cover - protocol
+        """Hook invoked when a task finishes."""
+        raise NotImplementedError

@@ -1,0 +1,97 @@
+"""Node Manager: runs attempts inside granted containers.
+
+The NM models what happens on a worker node once a container is granted:
+the attempt's JVM is launched (a random startup delay), the attempt
+processes its share of the input split (the sampled processing time), and
+a completion event fires.  Killing an attempt cancels its completion event
+and releases the container immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.hadoop.config import HadoopConfig
+from repro.hadoop.resource_manager import ResourceManager
+from repro.simulator.cluster import Container
+from repro.simulator.engine import Event, SimulationEngine
+from repro.simulator.entities import Attempt
+
+# Callback invoked when an attempt finishes processing its data.
+CompletionCallback = Callable[[Attempt], None]
+
+
+class NodeManager:
+    """Executes attempts in containers and reports their completion."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        resource_manager: ResourceManager,
+        config: HadoopConfig,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self._engine = engine
+        self._rm = resource_manager
+        self._config = config
+        self._rng = rng if rng is not None else engine.spawn_rng()
+        self._completion_events: Dict[int, Event] = {}
+        self._containers: Dict[int, Container] = {}
+
+    @property
+    def running_attempts(self) -> int:
+        """Number of attempts currently executing on this NM."""
+        return len(self._completion_events)
+
+    def sample_jvm_delay(self) -> float:
+        """Draw a JVM launch delay from the configured distribution."""
+        mean, jitter = self._config.jvm_startup_mean, self._config.jvm_startup_jitter
+        if mean <= 0:
+            return 0.0
+        if jitter <= 0:
+            return mean
+        return float(self._rng.uniform(mean - jitter, mean + jitter))
+
+    def launch(
+        self,
+        attempt: Attempt,
+        container: Container,
+        processing_time: float,
+        on_complete: CompletionCallback,
+    ) -> None:
+        """Start an attempt in a container and schedule its completion."""
+        if processing_time < 0:
+            raise ValueError("processing_time must be non-negative")
+        jvm_delay = self.sample_jvm_delay()
+        attempt.mark_running(
+            launch_time=self._engine.now,
+            jvm_delay=jvm_delay,
+            processing_time=processing_time,
+            container_id=container.container_id,
+        )
+        self._containers[attempt.attempt_id] = container
+
+        def complete() -> None:
+            self._completion_events.pop(attempt.attempt_id, None)
+            attempt.mark_completed(self._engine.now)
+            self._release(attempt)
+            on_complete(attempt)
+
+        event = self._engine.schedule_after(jvm_delay + processing_time, complete)
+        self._completion_events[attempt.attempt_id] = event
+
+    def kill(self, attempt: Attempt) -> None:
+        """Kill a running attempt: cancel completion and free the container."""
+        event = self._completion_events.pop(attempt.attempt_id, None)
+        if event is not None:
+            event.cancel()
+        if not attempt.is_finished:
+            attempt.mark_killed(self._engine.now)
+        self._release(attempt)
+
+    def _release(self, attempt: Attempt) -> None:
+        container = self._containers.pop(attempt.attempt_id, None)
+        if container is not None:
+            self._rm.release_container(container)

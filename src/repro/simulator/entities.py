@@ -1,0 +1,329 @@
+"""Simulation entities: jobs, tasks and task attempts.
+
+The state machines here mirror Hadoop MapReduce: a *job* consists of N
+parallel *tasks*; each task may have several *attempts* (one original plus
+clones/speculative copies); a task is done as soon as one attempt finishes
+and a job is done when all its tasks are done (eq. 1 of the paper).
+
+Execution-time model
+--------------------
+Each attempt is assigned a *processing time* drawn from the job's Pareto
+distribution, scaled by the fraction of the task's data it has to process
+(``work_fraction``, which is less than 1 only for Speculative-Resume
+attempts that skip already-processed bytes).  On top of that the attempt
+pays a deterministic-per-attempt *JVM launch delay* before any data is
+processed — the overhead Chronos' estimator explicitly accounts for.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.model import StragglerModel
+from repro.distributions import ParetoDistribution
+
+
+class AttemptStatus(enum.Enum):
+    """Lifecycle of a task attempt."""
+
+    WAITING = "waiting"  # created, waiting for a container
+    RUNNING = "running"  # occupying a container (JVM launch + processing)
+    COMPLETED = "completed"
+    KILLED = "killed"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Static description of a submitted MapReduce job.
+
+    Parameters
+    ----------
+    job_id:
+        Unique identifier.
+    num_tasks:
+        Number of parallel (map) tasks.
+    deadline:
+        Deadline in seconds **relative to submission time**.
+    tmin, beta:
+        Pareto parameters of a single attempt's processing time.
+    submit_time:
+        Absolute submission time in the simulation.
+    unit_price:
+        Spot price per unit VM time used for this job's cost accounting.
+    data_size_mb:
+        Input split size per task (informational; used by workload profiles).
+    workload:
+        Optional benchmark name (e.g. ``"sort"``).
+    """
+
+    job_id: str
+    num_tasks: int
+    deadline: float
+    tmin: float
+    beta: float
+    submit_time: float = 0.0
+    unit_price: float = 1.0
+    data_size_mb: float = 128.0
+    workload: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError("a job needs at least one task")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.tmin <= 0 or self.beta <= 0:
+            raise ValueError("Pareto parameters must be positive")
+        if self.submit_time < 0:
+            raise ValueError("submit_time must be non-negative")
+        if self.unit_price < 0:
+            raise ValueError("unit_price must be non-negative")
+
+    @property
+    def absolute_deadline(self) -> float:
+        """Deadline as an absolute simulation time."""
+        return self.submit_time + self.deadline
+
+    @property
+    def attempt_distribution(self) -> ParetoDistribution:
+        """Pareto distribution of one attempt's processing time."""
+        return ParetoDistribution(self.tmin, self.beta)
+
+    def to_straggler_model(
+        self,
+        tau_est: float,
+        tau_kill: float,
+        phi_est: Optional[float] = None,
+    ) -> StragglerModel:
+        """Build the analytical model used to optimize ``r`` for this job."""
+        return StragglerModel(
+            tmin=self.tmin,
+            beta=self.beta,
+            num_tasks=self.num_tasks,
+            deadline=self.deadline,
+            tau_est=tau_est,
+            tau_kill=tau_kill,
+            phi_est=phi_est,
+        )
+
+
+_attempt_counter = itertools.count()
+
+
+@dataclass
+class Attempt:
+    """A single attempt (original, clone or speculative copy) of a task."""
+
+    task: "Task"
+    created_time: float
+    start_offset: float = 0.0  # fraction of the task's data already processed
+    is_original: bool = True
+    attempt_id: int = field(default_factory=lambda: next(_attempt_counter))
+    status: AttemptStatus = AttemptStatus.WAITING
+    launch_time: Optional[float] = None  # container granted / JVM launch starts
+    jvm_delay: float = 0.0
+    processing_time: Optional[float] = None  # time to process its work fraction
+    end_time: Optional[float] = None
+    container_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_offset < 1.0:
+            raise ValueError("start_offset must lie in [0, 1)")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def work_fraction(self) -> float:
+        """Fraction of the task's data this attempt is responsible for."""
+        return 1.0 - self.start_offset
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the attempt currently occupies a container."""
+        return self.status is AttemptStatus.RUNNING
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether the attempt reached a terminal state."""
+        return self.status in (AttemptStatus.COMPLETED, AttemptStatus.KILLED)
+
+    @property
+    def first_progress_time(self) -> Optional[float]:
+        """Time of the first progress report (end of JVM launch)."""
+        if self.launch_time is None:
+            return None
+        return self.launch_time + self.jvm_delay
+
+    @property
+    def expected_finish_time(self) -> Optional[float]:
+        """Ground-truth completion time (not visible to schedulers)."""
+        if self.launch_time is None or self.processing_time is None:
+            return None
+        return self.launch_time + self.jvm_delay + self.processing_time
+
+    def progress(self, now: float) -> float:
+        """Progress score: fraction of the *task's* data processed by ``now``."""
+        if self.launch_time is None or self.processing_time is None:
+            return self.start_offset
+        if self.status is AttemptStatus.COMPLETED:
+            return 1.0
+        reference = min(now, self.end_time) if self.end_time is not None else now
+        elapsed_processing = reference - self.launch_time - self.jvm_delay
+        if elapsed_processing <= 0:
+            return self.start_offset
+        fraction_of_own_work = min(1.0, elapsed_processing / self.processing_time)
+        return self.start_offset + fraction_of_own_work * self.work_fraction
+
+    def machine_time(self, now: float) -> float:
+        """VM time consumed by this attempt up to ``now`` (or its end)."""
+        if self.launch_time is None:
+            return 0.0
+        end = self.end_time if self.end_time is not None else now
+        return max(0.0, min(end, now) - self.launch_time)
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+    def mark_running(
+        self, launch_time: float, jvm_delay: float, processing_time: float, container_id: int
+    ) -> None:
+        """Transition WAITING -> RUNNING when a container is granted."""
+        if self.status is not AttemptStatus.WAITING:
+            raise RuntimeError(f"attempt {self.attempt_id} cannot start from {self.status}")
+        if processing_time < 0 or jvm_delay < 0:
+            raise ValueError("durations must be non-negative")
+        self.status = AttemptStatus.RUNNING
+        self.launch_time = launch_time
+        self.jvm_delay = jvm_delay
+        self.processing_time = processing_time
+        self.container_id = container_id
+
+    def mark_completed(self, now: float) -> None:
+        """Transition RUNNING -> COMPLETED."""
+        if self.status is not AttemptStatus.RUNNING:
+            raise RuntimeError(f"attempt {self.attempt_id} cannot complete from {self.status}")
+        self.status = AttemptStatus.COMPLETED
+        self.end_time = now
+
+    def mark_killed(self, now: float) -> None:
+        """Transition WAITING/RUNNING -> KILLED.  Idempotent for finished attempts."""
+        if self.is_finished:
+            return
+        self.status = AttemptStatus.KILLED
+        self.end_time = now if self.launch_time is not None else self.created_time
+
+
+@dataclass
+class Task:
+    """One parallel unit of work within a job."""
+
+    job: "Job"
+    index: int
+    attempts: List[Attempt] = field(default_factory=list)
+    completion_time: Optional[float] = None
+
+    @property
+    def task_id(self) -> str:
+        """Human-readable identifier, e.g. ``job-3/task-7``."""
+        return f"{self.job.spec.job_id}/task-{self.index}"
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether some attempt has finished successfully."""
+        return self.completion_time is not None
+
+    @property
+    def original_attempt(self) -> Optional[Attempt]:
+        """The first (original) attempt, if any were created."""
+        for attempt in self.attempts:
+            if attempt.is_original:
+                return attempt
+        return None
+
+    @property
+    def running_attempts(self) -> List[Attempt]:
+        """Attempts currently occupying containers."""
+        return [a for a in self.attempts if a.is_active]
+
+    @property
+    def live_attempts(self) -> List[Attempt]:
+        """Attempts that are waiting or running (not finished)."""
+        return [a for a in self.attempts if not a.is_finished]
+
+    def add_attempt(self, attempt: Attempt) -> None:
+        """Register a newly created attempt."""
+        self.attempts.append(attempt)
+
+    def best_progress_attempt(self, now: float) -> Optional[Attempt]:
+        """The live attempt with the highest progress score at ``now``."""
+        live = self.live_attempts
+        if not live:
+            return None
+        return max(live, key=lambda a: a.progress(now))
+
+    def mark_complete(self, now: float) -> None:
+        """Record the first successful completion."""
+        if self.completion_time is None:
+            self.completion_time = now
+
+    def machine_time(self, now: float) -> float:
+        """Total VM time consumed by all attempts of this task."""
+        return sum(attempt.machine_time(now) for attempt in self.attempts)
+
+
+@dataclass
+class Job:
+    """A submitted job and its runtime state."""
+
+    spec: JobSpec
+    tasks: List[Task] = field(default_factory=list)
+    start_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    extra_attempts: int = 0  # the optimized r used for this job
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            self.tasks = [Task(job=self, index=i) for i in range(self.spec.num_tasks)]
+
+    @property
+    def job_id(self) -> str:
+        """The job identifier from the spec."""
+        return self.spec.job_id
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every task has completed."""
+        return all(task.is_complete for task in self.tasks)
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """Whether the job met its deadline (``None`` while still running)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time <= self.spec.absolute_deadline + 1e-9
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Job completion latency measured from submission."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.spec.submit_time
+
+    def incomplete_tasks(self) -> List[Task]:
+        """Tasks that have not yet finished."""
+        return [task for task in self.tasks if not task.is_complete]
+
+    def machine_time(self, now: float) -> float:
+        """Total VM time consumed by the job's attempts up to ``now``."""
+        return sum(task.machine_time(now) for task in self.tasks)
+
+    def try_finish(self, now: float) -> bool:
+        """Mark the job complete if all tasks are done; return the new state."""
+        if self.completion_time is None and self.is_complete:
+            self.completion_time = now
+        return self.completion_time is not None

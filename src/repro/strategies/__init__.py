@@ -1,0 +1,42 @@
+"""Speculation strategies: the three Chronos strategies plus baselines.
+
+Every strategy implements the small interface the Application Master
+expects (:class:`repro.strategies.base.SpeculationStrategy`):
+
+* :class:`~repro.strategies.clone.CloneStrategy` — launch ``r + 1``
+  attempts per task at job start, keep the best at ``tau_kill``,
+* :class:`~repro.strategies.restart.SpeculativeRestartStrategy` — detect
+  stragglers at ``tau_est`` via estimated completion time, launch ``r``
+  restarted attempts, keep the best at ``tau_kill``,
+* :class:`~repro.strategies.resume.SpeculativeResumeStrategy` — as above
+  but kill the straggler and launch ``r + 1`` attempts that resume from
+  the straggler's byte offset,
+* :class:`~repro.strategies.hadoop_ns.HadoopNoSpeculationStrategy` —
+  default Hadoop with speculation disabled,
+* :class:`~repro.strategies.hadoop_s.HadoopSpeculationStrategy` — default
+  Hadoop speculation (LATE-style),
+* :class:`~repro.strategies.mantri.MantriStrategy` — the Mantri baseline.
+
+Use :func:`build_strategy` to construct a strategy from a
+:class:`~repro.core.model.StrategyName` plus common parameters.
+"""
+
+from repro.strategies.base import SpeculationStrategy, StrategyParameters, build_strategy
+from repro.strategies.clone import CloneStrategy
+from repro.strategies.hadoop_ns import HadoopNoSpeculationStrategy
+from repro.strategies.hadoop_s import HadoopSpeculationStrategy
+from repro.strategies.mantri import MantriStrategy
+from repro.strategies.restart import SpeculativeRestartStrategy
+from repro.strategies.resume import SpeculativeResumeStrategy
+
+__all__ = [
+    "SpeculationStrategy",
+    "StrategyParameters",
+    "build_strategy",
+    "CloneStrategy",
+    "SpeculativeRestartStrategy",
+    "SpeculativeResumeStrategy",
+    "HadoopNoSpeculationStrategy",
+    "HadoopSpeculationStrategy",
+    "MantriStrategy",
+]

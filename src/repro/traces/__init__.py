@@ -1,0 +1,38 @@
+"""Workload substrate: synthetic traces, benchmark profiles and spot prices.
+
+The paper's evaluation uses (i) four classic MapReduce benchmarks on an
+EC2 testbed, (ii) a 30-hour job trace derived from the public Google
+cluster trace, and (iii) Amazon EC2 spot-price history for cost
+accounting.  None of those artifacts can be shipped here, so this
+subpackage synthesises statistically equivalent substitutes:
+
+* :mod:`repro.traces.workloads` — per-benchmark profiles (Sort,
+  SecondarySort, TeraSort, WordCount) mapping each benchmark to task
+  counts and Pareto execution-time parameters,
+* :mod:`repro.traces.google_trace` — a Google-trace-like job generator
+  with bursty arrivals, heavy-tailed task counts and per-job Pareto
+  execution-time parameters,
+* :mod:`repro.traces.spot_price` — a mean-reverting spot-price history
+  used to price VM time.
+"""
+
+from repro.traces.google_trace import GoogleTraceConfig, SyntheticGoogleTrace, TracedJob
+from repro.traces.spot_price import SpotPriceConfig, SpotPriceHistory
+from repro.traces.workloads import (
+    BENCHMARKS,
+    WorkloadProfile,
+    benchmark_jobs,
+    get_benchmark,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "BENCHMARKS",
+    "get_benchmark",
+    "benchmark_jobs",
+    "GoogleTraceConfig",
+    "SyntheticGoogleTrace",
+    "TracedJob",
+    "SpotPriceConfig",
+    "SpotPriceHistory",
+]

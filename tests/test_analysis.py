@@ -1,0 +1,143 @@
+"""Tests for the analysis subpackage: Monte-Carlo validation, sweeps, ablation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    estimator_ablation,
+    monte_carlo_cost,
+    monte_carlo_pocd,
+    validate_strategy,
+)
+from repro.analysis.estimators import estimation_errors
+from repro.analysis.sensitivity import (
+    deadline_sensitivity,
+    optimal_r_sensitivity,
+    tail_sensitivity,
+)
+from repro.core.model import StrategyName
+from repro.simulator.entities import JobSpec
+from repro.simulator.progress import chronos_estimate_completion, hadoop_estimate_completion
+from repro.strategies import StrategyParameters
+
+ALL_CHRONOS = StrategyName.chronos_strategies()
+SAMPLES = 4000
+
+
+class TestMonteCarloValidation:
+    """Theorems 1-6: closed forms agree with direct simulation."""
+
+    @pytest.mark.parametrize("strategy", ALL_CHRONOS)
+    @pytest.mark.parametrize("r", [0, 1, 3])
+    def test_pocd_matches(self, model, strategy, r):
+        result = monte_carlo_pocd(model, strategy, r, samples=SAMPLES, seed=1)
+        assert result.simulated == pytest.approx(result.analytical, abs=0.03)
+
+    @pytest.mark.parametrize("strategy", ALL_CHRONOS)
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_cost_matches(self, model, strategy, r):
+        result = monte_carlo_cost(model, strategy, r, samples=SAMPLES, seed=2)
+        assert result.simulated == pytest.approx(result.analytical, rel=0.08)
+
+    def test_clone_cost_exact_structure(self, model):
+        result = monte_carlo_cost(model, StrategyName.CLONE, 2, samples=SAMPLES, seed=3)
+        assert result.relative_error < 0.1
+
+    def test_result_diagnostics(self, model):
+        result = monte_carlo_pocd(model, StrategyName.CLONE, 1, samples=1000, seed=4)
+        assert result.samples == 1000
+        assert result.absolute_error >= 0.0
+        assert result.standard_error > 0.0
+        assert result.within >= 0.0
+
+    def test_validate_strategy_summary(self, model):
+        summary = validate_strategy(model, StrategyName.SPECULATIVE_RESUME, 2, samples=2000, seed=5)
+        assert summary["strategy"] == "S-Resume"
+        assert summary["pocd_relative_error"] < 0.1
+        assert summary["cost_relative_error"] < 0.15
+
+
+class TestSensitivity:
+    def test_deadline_sensitivity_r_decreases(self, model):
+        points = deadline_sensitivity(
+            model, StrategyName.SPECULATIVE_RESUME, deadline_factors=[1.5, 2.0, 4.0, 10.0]
+        )
+        r_values = [p.r_opt for p in points]
+        assert r_values[-1] <= r_values[0]
+        assert points[-1].pocd >= points[0].pocd
+
+    def test_deadline_sensitivity_large_deadline_needs_no_speculation(self, model):
+        points = deadline_sensitivity(
+            model, StrategyName.CLONE, deadline_factors=[50.0], theta=1e-3
+        )
+        assert points[0].r_opt == 0
+
+    def test_tail_sensitivity(self, model):
+        results = tail_sensitivity(model, StrategyName.CLONE, betas=[1.1, 1.5, 1.9], r=1)
+        pocds = [results[beta]["pocd"] for beta in (1.1, 1.5, 1.9)]
+        assert pocds == sorted(pocds)
+        costs = [results[beta]["machine_time"] for beta in (1.1, 1.5, 1.9)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_optimal_r_sensitivity_decreasing_in_theta(self, model):
+        results = optimal_r_sensitivity(
+            model, StrategyName.SPECULATIVE_RESUME, thetas=[1e-6, 1e-4, 1e-2]
+        )
+        values = [results[theta] for theta in (1e-6, 1e-4, 1e-2)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestEstimatorAblation:
+    @pytest.fixture
+    def jobs(self):
+        return [
+            JobSpec(
+                job_id=f"job-{i}",
+                num_tasks=8,
+                deadline=90.0,
+                tmin=20.0,
+                beta=1.3,
+                submit_time=i * 10.0,
+            )
+            for i in range(15)
+        ]
+
+    def test_ablation_runs_both_estimators(self, jobs):
+        result = estimator_ablation(
+            jobs,
+            StrategyName.SPECULATIVE_RESUME,
+            StrategyParameters(tau_est=40.0, tau_kill=80.0, fixed_r=2),
+            seed=3,
+        )
+        assert result.chronos_report.num_jobs == len(jobs)
+        assert result.hadoop_report.num_jobs == len(jobs)
+        assert result.cost_ratio > 0.0
+        assert -1.0 <= result.pocd_gain <= 1.0
+
+    def test_hadoop_estimator_speculates_more(self, jobs):
+        """The JVM-blind estimator over-detects stragglers (more speculation)."""
+        result = estimator_ablation(
+            jobs,
+            StrategyName.SPECULATIVE_RESTART,
+            StrategyParameters(tau_est=40.0, tau_kill=80.0, fixed_r=1),
+            seed=4,
+        )
+        assert result.speculation_ratio >= 1.0
+
+    def test_estimation_errors_chronos_smaller(self, job_spec):
+        chronos_errors = estimation_errors(
+            job_spec, chronos_estimate_completion, jvm_delay=8.0, samples=300, seed=0
+        )
+        hadoop_errors = estimation_errors(
+            job_spec, hadoop_estimate_completion, jvm_delay=8.0, samples=300, seed=0
+        )
+        mean_abs_chronos = sum(abs(e) for e in chronos_errors) / len(chronos_errors)
+        mean_abs_hadoop = sum(abs(e) for e in hadoop_errors) / len(hadoop_errors)
+        assert mean_abs_chronos < mean_abs_hadoop
+
+    def test_estimation_errors_validation(self, job_spec):
+        with pytest.raises(ValueError):
+            estimation_errors(job_spec, chronos_estimate_completion, observation_fraction=0.0)

@@ -1,0 +1,147 @@
+"""Unit tests for the expected machine time / cost (Theorems 2, 4, 6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.cost import (
+    expected_cost,
+    expected_machine_time,
+    expected_machine_time_clone,
+    expected_machine_time_no_speculation,
+    expected_machine_time_restart,
+    expected_machine_time_resume,
+)
+from repro.core.model import StragglerModel, StrategyName
+
+ALL_CHRONOS = StrategyName.chronos_strategies()
+
+
+class TestTheorem2Clone:
+    def test_closed_form(self, model):
+        r = 2
+        expected = model.num_tasks * (
+            r * model.tau_kill
+            + model.tmin
+            + model.tmin / (model.beta * (r + 1) - 1.0)
+        )
+        assert expected_machine_time_clone(model, r) == pytest.approx(expected)
+
+    def test_r_zero_is_mean_job_time(self, model):
+        assert expected_machine_time_clone(model, 0) == pytest.approx(
+            model.num_tasks * model.mean_task_time
+        )
+
+    def test_infinite_when_min_divergent(self):
+        m = StragglerModel(tmin=20.0, beta=0.6, num_tasks=10, deadline=100.0)
+        assert math.isinf(expected_machine_time_clone(m, 0))
+
+    def test_monotone_in_r(self, model):
+        values = [expected_machine_time_clone(model, r) for r in range(6)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative_r(self, model):
+        with pytest.raises(ValueError):
+            expected_machine_time_clone(model, -1)
+
+
+class TestTheorem4Restart:
+    def test_r_zero_is_unconditional_mean(self, model):
+        # With no speculation the machine time is just the mean task time.
+        assert expected_machine_time_restart(model, 0) == pytest.approx(
+            model.num_tasks * model.mean_task_time, rel=1e-6
+        )
+
+    def test_finite_for_positive_r(self, model):
+        for r in range(1, 5):
+            assert math.isfinite(expected_machine_time_restart(model, r))
+
+    def test_infinite_for_heavy_tail(self):
+        m = StragglerModel(tmin=20.0, beta=0.9, num_tasks=10, deadline=100.0, tau_est=40.0, tau_kill=80.0)
+        assert math.isinf(expected_machine_time_restart(m, 2))
+
+    def test_conditional_decomposition_bounds(self, model):
+        # The straggler branch adds time, so cost with speculation at small r
+        # must stay below the no-speculation cost (stragglers get killed).
+        no_spec = expected_machine_time_no_speculation(model)
+        with_spec = expected_machine_time_restart(model, 1)
+        assert with_spec < no_spec
+
+    def test_increasing_in_r_eventually(self, model):
+        # Each extra attempt adds (tau_kill - tau_est) of machine time per
+        # straggler, so cost grows in r beyond the first few values.
+        values = [expected_machine_time_restart(model, r) for r in range(1, 8)]
+        assert values[-1] > values[0]
+
+
+class TestTheorem6Resume:
+    def test_closed_form(self, model):
+        r = 2
+        p_miss = model.straggler_probability
+        below = model.attempt_distribution.conditional_mean_below(model.deadline)
+        exponent = model.beta * (r + 1)
+        above = (
+            model.tau_est
+            + r * (model.tau_kill - model.tau_est)
+            + model.tmin * model.remaining_work_fraction**exponent / (exponent - 1.0)
+            + model.tmin
+        )
+        expected = model.num_tasks * (below * (1 - p_miss) + above * p_miss)
+        assert expected_machine_time_resume(model, r) == pytest.approx(expected)
+
+    def test_finite_for_all_r(self, model):
+        for r in range(6):
+            assert math.isfinite(expected_machine_time_resume(model, r))
+
+    def test_cheaper_than_restart_at_same_r(self, model):
+        # Work preservation avoids reprocessing, so S-Resume is cheaper.
+        for r in range(1, 5):
+            assert expected_machine_time_resume(model, r) < expected_machine_time_restart(
+                model, r
+            )
+
+    def test_cheaper_than_clone_at_same_r(self, model):
+        for r in range(1, 5):
+            assert expected_machine_time_resume(model, r) < expected_machine_time_clone(model, r)
+
+    def test_infinite_for_heavy_tail(self):
+        m = StragglerModel(
+            tmin=20.0, beta=0.8, num_tasks=10, deadline=100.0, tau_est=40.0, tau_kill=80.0
+        )
+        assert math.isinf(expected_machine_time_resume(m, 1))
+
+
+class TestGenericDispatch:
+    @pytest.mark.parametrize("strategy", ALL_CHRONOS)
+    def test_dispatch_positive(self, model, strategy):
+        assert expected_machine_time(model, strategy, 2) > 0.0
+
+    def test_rejects_baseline(self, model):
+        with pytest.raises(ValueError):
+            expected_machine_time(model, StrategyName.MANTRI, 1)
+
+    @pytest.mark.parametrize("strategy", ALL_CHRONOS)
+    def test_scales_linearly_with_num_tasks(self, model, strategy):
+        one = expected_machine_time(model.with_num_tasks(1), strategy, 2)
+        ten = expected_machine_time(model.with_num_tasks(10), strategy, 2)
+        assert ten == pytest.approx(10.0 * one, rel=1e-9)
+
+    def test_expected_cost_scales_with_price(self, model):
+        base = expected_cost(model, StrategyName.CLONE, 1, unit_price=1.0)
+        double = expected_cost(model, StrategyName.CLONE, 1, unit_price=2.0)
+        assert double == pytest.approx(2.0 * base)
+
+    def test_expected_cost_rejects_negative_price(self, model):
+        with pytest.raises(ValueError):
+            expected_cost(model, StrategyName.CLONE, 1, unit_price=-1.0)
+
+    def test_no_speculation_cost(self, model):
+        assert expected_machine_time_no_speculation(model) == pytest.approx(
+            model.num_tasks * model.mean_task_time
+        )
+
+    def test_no_speculation_cost_infinite_for_beta_below_one(self):
+        m = StragglerModel(tmin=20.0, beta=0.8, num_tasks=10, deadline=100.0)
+        assert math.isinf(expected_machine_time_no_speculation(m))

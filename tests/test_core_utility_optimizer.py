@@ -1,0 +1,226 @@
+"""Unit tests for the net utility, concavity thresholds and Algorithm 1."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.model import StragglerModel, StrategyName
+from repro.core.optimizer import (
+    ChronosOptimizer,
+    brute_force_optimum,
+    gradient_line_search,
+)
+from repro.core.pocd import pocd
+from repro.core.utility import (
+    UtilityParameters,
+    concavity_threshold,
+    concavity_threshold_clone,
+    concavity_threshold_restart,
+    concavity_threshold_resume,
+    net_utility,
+    net_utility_gradient,
+    pocd_utility,
+)
+
+ALL_CHRONOS = StrategyName.chronos_strategies()
+
+
+class TestUtilityParameters:
+    def test_defaults(self):
+        params = UtilityParameters()
+        assert params.theta == 1e-4
+        assert params.r_min_pocd == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"theta": -1.0},
+            {"unit_price": -0.1},
+            {"r_min_pocd": 1.0},
+            {"r_min_pocd": -0.2},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            UtilityParameters(**kwargs)
+
+
+class TestPoCDUtility:
+    def test_log10_of_margin(self):
+        assert pocd_utility(0.9, 0.0) == pytest.approx(math.log10(0.9))
+
+    def test_negative_infinity_when_infeasible(self):
+        assert pocd_utility(0.3, 0.5) == -math.inf
+        assert pocd_utility(0.5, 0.5) == -math.inf
+
+
+class TestNetUtility:
+    def test_matches_manual_computation(self, model):
+        params = UtilityParameters(theta=1e-4, unit_price=2.0, r_min_pocd=0.1)
+        from repro.core.cost import expected_machine_time
+
+        r = 2
+        expected = math.log10(pocd(model, StrategyName.CLONE, r) - 0.1) - 1e-4 * 2.0 * (
+            expected_machine_time(model, StrategyName.CLONE, r)
+        )
+        assert net_utility(model, StrategyName.CLONE, r, params) == pytest.approx(expected)
+
+    def test_infeasible_returns_minus_inf(self, model):
+        params = UtilityParameters(r_min_pocd=0.999999)
+        assert net_utility(model, StrategyName.CLONE, 0, params) == -math.inf
+
+    def test_rejects_negative_r(self, model):
+        with pytest.raises(ValueError):
+            net_utility(model, StrategyName.CLONE, -1, UtilityParameters())
+
+    def test_gradient_sign_changes_around_optimum(self, model):
+        params = UtilityParameters(theta=1e-4)
+        r_opt, _ = brute_force_optimum(model, StrategyName.SPECULATIVE_RESUME, params)
+        grad_before = net_utility_gradient(
+            model, StrategyName.SPECULATIVE_RESUME, max(r_opt - 1, 0) + 0.2, params
+        )
+        grad_after = net_utility_gradient(
+            model, StrategyName.SPECULATIVE_RESUME, r_opt + 1.0, params
+        )
+        assert grad_after < grad_before
+
+
+class TestConcavityThresholds:
+    def test_generic_matches_paper_clone(self, model):
+        assert concavity_threshold(model, StrategyName.CLONE) == pytest.approx(
+            concavity_threshold_clone(model), rel=1e-9
+        )
+
+    def test_generic_matches_paper_restart(self, model):
+        assert concavity_threshold(model, StrategyName.SPECULATIVE_RESTART) == pytest.approx(
+            concavity_threshold_restart(model), rel=1e-9
+        )
+
+    def test_generic_matches_paper_resume(self, model):
+        assert concavity_threshold(model, StrategyName.SPECULATIVE_RESUME) == pytest.approx(
+            concavity_threshold_resume(model), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("strategy", ALL_CHRONOS)
+    def test_pocd_concave_above_threshold(self, model, strategy):
+        """Discrete second difference of PoCD is negative above Gamma."""
+        gamma = concavity_threshold(model, strategy)
+        start = max(0, math.ceil(gamma))
+        for r in range(start, start + 5):
+            second_diff = (
+                pocd(model, strategy, r + 2)
+                - 2.0 * pocd(model, strategy, r + 1)
+                + pocd(model, strategy, r)
+            )
+            assert second_diff <= 1e-12
+
+    def test_threshold_grows_with_num_tasks(self, model):
+        small = concavity_threshold(model.with_num_tasks(2), StrategyName.CLONE)
+        large = concavity_threshold(model.with_num_tasks(200), StrategyName.CLONE)
+        assert large > small
+
+
+class TestAlgorithm1:
+    @pytest.mark.parametrize("strategy", ALL_CHRONOS)
+    @pytest.mark.parametrize("theta", [1e-6, 1e-4, 1e-3, 1e-2])
+    def test_matches_brute_force(self, model, strategy, theta):
+        """Theorem 9: Algorithm 1 finds the global optimum."""
+        optimizer = ChronosOptimizer(model, theta=theta, unit_price=1.0)
+        result = optimizer.optimize(strategy)
+        r_star, u_star = brute_force_optimum(model, strategy, optimizer.parameters)
+        assert result.utility == pytest.approx(u_star, abs=1e-9)
+        assert result.r_opt == r_star
+
+    @pytest.mark.parametrize("strategy", ALL_CHRONOS)
+    def test_matches_brute_force_many_tasks(self, strategy):
+        model = StragglerModel(
+            tmin=15.0, beta=1.2, num_tasks=300, deadline=120.0, tau_est=30.0, tau_kill=60.0
+        )
+        optimizer = ChronosOptimizer(model, theta=1e-5, unit_price=1.0)
+        result = optimizer.optimize(strategy)
+        r_star, u_star = brute_force_optimum(model, strategy, optimizer.parameters)
+        assert result.r_opt == r_star
+        assert result.utility == pytest.approx(u_star, abs=1e-9)
+
+    def test_result_fields_consistent(self, model):
+        optimizer = ChronosOptimizer(model, theta=1e-4, unit_price=2.0)
+        result = optimizer.optimize(StrategyName.SPECULATIVE_RESUME)
+        assert result.cost == pytest.approx(2.0 * result.machine_time)
+        assert result.pocd == pytest.approx(
+            pocd(model, StrategyName.SPECULATIVE_RESUME, result.r_opt)
+        )
+        assert result.feasible
+        assert result.evaluations >= 1
+        assert result.r_opt in result.utility_by_r
+
+    def test_large_theta_minimises_cost(self, model):
+        """With a huge theta the optimizer effectively minimises E(T).
+
+        For Clone that means r = 0 (its cost is strictly increasing in r);
+        for the speculative strategies a single extra attempt can *reduce*
+        expected machine time (stragglers get killed at tau_kill instead of
+        running out their heavy tail), so we only assert that the chosen r
+        minimises the machine time.
+        """
+        from repro.core.cost import expected_machine_time
+
+        optimizer = ChronosOptimizer(model, theta=10.0, unit_price=1.0)
+        assert optimizer.optimize(StrategyName.CLONE).r_opt == 0
+        for strategy in ALL_CHRONOS:
+            result = optimizer.optimize(strategy)
+            costs = {r: expected_machine_time(model, strategy, r) for r in range(10)}
+            assert result.r_opt == min(costs, key=costs.get)
+
+    def test_lax_deadline_needs_no_speculation(self, loose_model):
+        optimizer = ChronosOptimizer(loose_model.with_deadline(2000.0), theta=1e-3)
+        result = optimizer.optimize(StrategyName.SPECULATIVE_RESUME)
+        assert result.r_opt == 0
+
+    def test_optimal_r_decreases_with_theta(self, model):
+        for strategy in ALL_CHRONOS:
+            r_values = [
+                ChronosOptimizer(model, theta=theta).optimize(strategy).r_opt
+                for theta in (1e-6, 1e-4, 1e-2)
+            ]
+            assert all(b <= a for a, b in zip(r_values, r_values[1:]))
+
+    def test_infeasible_r_min(self, model):
+        optimizer = ChronosOptimizer(model, theta=1e-4, r_min_pocd=0.999999999)
+        result = optimizer.optimize(StrategyName.CLONE)
+        assert not result.feasible or result.pocd > 0.999999999
+
+    def test_optimize_all_and_best(self, model):
+        optimizer = ChronosOptimizer(model, theta=1e-4)
+        results = optimizer.optimize_all()
+        assert set(results) == set(ALL_CHRONOS)
+        best = optimizer.best_strategy()
+        assert best.utility == max(res.utility for res in results.values())
+
+    def test_utility_method(self, model):
+        optimizer = ChronosOptimizer(model, theta=1e-4)
+        assert optimizer.utility(StrategyName.CLONE, 1) == pytest.approx(
+            net_utility(model, StrategyName.CLONE, 1, optimizer.parameters)
+        )
+
+    def test_rejects_negative_r_max(self, model):
+        with pytest.raises(ValueError):
+            ChronosOptimizer(model, r_max=-1)
+
+
+class TestGradientLineSearch:
+    def test_converges_to_continuous_optimum(self, model):
+        params = UtilityParameters(theta=1e-4)
+        gamma = concavity_threshold(model, StrategyName.SPECULATIVE_RESUME)
+        start = max(0.0, math.ceil(gamma))
+        r_cont = gradient_line_search(
+            model, StrategyName.SPECULATIVE_RESUME, params, r_start=start
+        )
+        r_int, _ = brute_force_optimum(model, StrategyName.SPECULATIVE_RESUME, params)
+        assert abs(r_cont - r_int) <= 1.5
+
+    def test_does_not_go_negative(self, loose_model):
+        params = UtilityParameters(theta=1.0)
+        r = gradient_line_search(loose_model, StrategyName.CLONE, params, r_start=0.0)
+        assert r >= 0.0

@@ -1,0 +1,97 @@
+"""Unit tests for the empirical and shifted distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    EmpiricalDistribution,
+    ParetoDistribution,
+    ShiftedDistribution,
+)
+
+
+class TestEmpiricalDistribution:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([1.0, 0.0])
+
+    def test_samples_come_from_data(self, rng):
+        data = [10.0, 20.0, 30.0]
+        dist = EmpiricalDistribution(data)
+        samples = dist.sample(100, rng=rng)
+        assert set(np.unique(samples)).issubset(set(data))
+
+    def test_mean_matches_data(self):
+        dist = EmpiricalDistribution([10.0, 20.0, 30.0])
+        assert dist.mean() == pytest.approx(20.0)
+
+    def test_cdf_is_empirical(self):
+        dist = EmpiricalDistribution([10.0, 20.0, 30.0, 40.0])
+        assert dist.cdf(25.0) == pytest.approx(0.5)
+        assert dist.cdf(5.0) == 0.0
+        assert dist.cdf(40.0) == 1.0
+
+    def test_quantile_range(self):
+        dist = EmpiricalDistribution([10.0, 20.0, 30.0, 40.0])
+        assert float(dist.quantile(0.0)) == 10.0
+        assert float(dist.quantile(1.0)) == 40.0
+
+    def test_quantile_rejects_out_of_range(self):
+        dist = EmpiricalDistribution([10.0, 20.0])
+        with pytest.raises(ValueError):
+            dist.quantile(-0.1)
+
+    def test_min_max_accessors(self):
+        dist = EmpiricalDistribution([30.0, 10.0, 20.0])
+        assert dist.minimum() == 10.0
+        assert dist.maximum() == 30.0
+
+    def test_samples_property_is_sorted_copy(self):
+        dist = EmpiricalDistribution([30.0, 10.0, 20.0])
+        samples = dist.samples
+        assert list(samples) == [10.0, 20.0, 30.0]
+        samples[0] = 999.0
+        assert dist.minimum() == 10.0
+
+
+class TestShiftedDistribution:
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            ShiftedDistribution(ParetoDistribution(10.0, 1.5), -1.0)
+
+    def test_mean_is_shifted(self):
+        base = ParetoDistribution(10.0, 2.0)
+        shifted = ShiftedDistribution(base, 5.0)
+        assert shifted.mean() == pytest.approx(base.mean() + 5.0)
+
+    def test_samples_are_shifted(self, rng):
+        base = ParetoDistribution(10.0, 1.5)
+        shifted = ShiftedDistribution(base, 5.0)
+        samples = shifted.sample(1000, rng=rng)
+        assert np.all(samples >= 15.0)
+
+    def test_cdf_is_shifted(self):
+        base = ParetoDistribution(10.0, 1.5)
+        shifted = ShiftedDistribution(base, 5.0)
+        assert shifted.cdf(20.0) == pytest.approx(float(base.cdf(15.0)))
+
+    def test_quantile_is_shifted(self):
+        base = ParetoDistribution(10.0, 1.5)
+        shifted = ShiftedDistribution(base, 5.0)
+        assert float(shifted.quantile(0.5)) == pytest.approx(float(base.quantile(0.5)) + 5.0)
+
+    def test_accessors(self):
+        base = ParetoDistribution(10.0, 1.5)
+        shifted = ShiftedDistribution(base, 5.0)
+        assert shifted.base is base
+        assert shifted.offset == 5.0
+
+    def test_sf_consistent_with_cdf(self):
+        shifted = ShiftedDistribution(ParetoDistribution(10.0, 1.5), 2.0)
+        assert float(shifted.sf(30.0)) == pytest.approx(1.0 - float(shifted.cdf(30.0)))

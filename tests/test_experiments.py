@@ -1,0 +1,156 @@
+"""Tests of the experiment harness (smoke scale) and its CLI."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    ExperimentTable,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.cli import EXPERIMENTS, build_parser, main, run_experiments
+from repro.experiments.common import ExperimentRow
+
+
+class TestExperimentTable:
+    def test_add_and_lookup(self):
+        table = ExperimentTable("t", "Title", ["a", "b"])
+        table.add_row("row1", {"a": 1.0, "b": 2.0})
+        assert table.row("row1").value("a") == 1.0
+        assert table.column("b") == {"row1": 2.0}
+
+    def test_missing_column_rejected(self):
+        table = ExperimentTable("t", "Title", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("row1", {"a": 1.0})
+
+    def test_missing_row_raises(self):
+        table = ExperimentTable("t", "Title", ["a"])
+        with pytest.raises(KeyError):
+            table.row("nope")
+
+    def test_to_text_contains_values(self):
+        table = ExperimentTable("t", "Title", ["a"])
+        table.add_row("row1", {"a": 0.5})
+        table.add_row("inf", {"a": -math.inf})
+        text = table.to_text()
+        assert "Title" in text
+        assert "row1" in text
+        assert "-inf" in text
+
+    def test_experiment_row_value(self):
+        row = ExperimentRow(label="x", values={"a": 3.0})
+        assert row.value("a") == 3.0
+
+
+class TestScale:
+    def test_scaled_jobs_monotone(self):
+        assert ExperimentScale.SMOKE.scaled_jobs(100) <= ExperimentScale.SMALL.scaled_jobs(100)
+        assert ExperimentScale.SMALL.scaled_jobs(100) <= ExperimentScale.FULL.scaled_jobs(100)
+
+    def test_minimum_respected(self):
+        assert ExperimentScale.SMOKE.scaled_jobs(10, minimum=25) == 25
+
+
+@pytest.fixture(scope="module")
+def figure5_table():
+    return run_figure5(scale=ExperimentScale.SMOKE, seed=0)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(scale=ExperimentScale.SMOKE, seed=0)
+
+
+class TestFigure5:
+    def test_has_four_rows(self, figure5_table):
+        assert len(figure5_table.rows) == 4
+
+    def test_histogram_counts_all_jobs(self, figure5_table):
+        totals = {row.label: sum(row.values.values()) for row in figure5_table.rows}
+        assert len(set(totals.values())) == 1  # every row sums to the job count
+
+    def test_larger_theta_shifts_r_down(self, figure5_table):
+        """The paper's headline observation for Figure 5."""
+
+        def mean_r(label):
+            row = figure5_table.row(label)
+            total = sum(row.values.values())
+            acc = 0.0
+            for column, count in row.values.items():
+                r = 7 if column == "r>=7" else int(column.split("=")[1])
+                acc += r * count
+            return acc / total
+
+        assert mean_r("Clone theta=0.0001") <= mean_r("Clone theta=1e-05")
+        assert mean_r("S-Resume theta=0.0001") <= mean_r("S-Resume theta=1e-05")
+
+
+class TestTable1:
+    def test_has_seven_rows(self, table1):
+        assert len(table1.rows) == 7
+
+    def test_pocd_and_cost_positive(self, table1):
+        for row in table1.rows:
+            assert 0.0 <= row.value("pocd") <= 1.0
+            assert row.value("cost") > 0.0
+
+    def test_small_tau_est_costs_more_for_speculative(self, table1):
+        """Over-eager detection (small tau_est) launches more speculation."""
+        early = table1.row("S-Resume @ tau_est=0.1tmin, tau_kill=0.6tmin").value("cost")
+        late = table1.row("S-Resume @ tau_est=0.5tmin, tau_kill=1.0tmin").value("cost")
+        assert early >= late
+
+
+class TestTable2:
+    def test_structure_and_cost_monotone_in_tau_kill(self):
+        table = run_table2(scale=ExperimentScale.SMOKE, seed=0)
+        assert len(table.rows) == 9
+        resume_costs = [
+            table.row(f"S-Resume @ tau_est=0.3tmin, tau_kill={factor}tmin").value("cost")
+            for factor in ("0.4", "0.6", "0.8")
+        ]
+        # Larger tau_kill lets speculative attempts run longer before pruning.
+        assert resume_costs[0] <= resume_costs[-1] * 1.05
+
+
+class TestCLI:
+    def test_registry_lists_all_experiments(self):
+        assert set(EXPERIMENTS) == {
+            "figure2",
+            "table1",
+            "table2",
+            "figure3",
+            "figure4",
+            "figure5",
+        }
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scale == "small"
+        assert args.experiments == ["all"]
+
+    def test_run_experiments_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_experiments(["nope"], scale=ExperimentScale.SMOKE, seed=0)
+
+    def test_main_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure2" in out
+
+    def test_main_runs_single_experiment(self, capsys):
+        assert main(["figure5", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Histogram of the optimal r" in out
+
+    def test_main_rejects_unknown(self, capsys):
+        assert main(["nope"]) == 2

@@ -1,0 +1,71 @@
+"""Tests of the top-level public API (what the README quick start uses)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    ChronosOptimizer,
+    ClusterConfig,
+    JobSpec,
+    ParetoDistribution,
+    SimulationRunner,
+    StragglerModel,
+    StrategyName,
+    StrategyParameters,
+    build_strategy,
+    expected_cost,
+    expected_machine_time,
+    net_utility,
+    pocd,
+    tradeoff_frontier,
+)
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_flow(self):
+        """The exact flow shown in the README quick start."""
+        model = StragglerModel(
+            tmin=20, beta=1.5, num_tasks=10, deadline=100, tau_est=40, tau_kill=80
+        )
+        result = ChronosOptimizer(model, theta=1e-4).optimize(StrategyName.SPECULATIVE_RESUME)
+        assert result.r_opt >= 0
+        assert 0.0 <= result.pocd <= 1.0
+        assert result.cost > 0.0
+
+    def test_analytical_helpers_exposed(self):
+        model = StragglerModel(
+            tmin=20, beta=1.5, num_tasks=10, deadline=100, tau_est=40, tau_kill=80
+        )
+        assert pocd(model, StrategyName.CLONE, 1) > 0
+        assert expected_machine_time(model, StrategyName.CLONE, 1) > 0
+        assert expected_cost(model, StrategyName.CLONE, 1, unit_price=2.0) > 0
+        from repro.core.utility import UtilityParameters
+
+        assert net_utility(model, StrategyName.CLONE, 1, UtilityParameters()) < 0
+        assert len(tradeoff_frontier(model, StrategyName.CLONE, r_max=4)) >= 1
+
+    def test_simulation_flow(self):
+        jobs = [
+            JobSpec(job_id=f"j{i}", num_tasks=5, deadline=100.0, tmin=20.0, beta=1.4, submit_time=i)
+            for i in range(5)
+        ]
+        runner = SimulationRunner(cluster=ClusterConfig(num_nodes=0), seed=0)
+        report = runner.run(
+            jobs,
+            build_strategy(
+                StrategyName.SPECULATIVE_RESUME, StrategyParameters(tau_est=40.0, tau_kill=80.0)
+            ),
+        )
+        assert report.num_jobs == 5
+
+    def test_pareto_exposed(self):
+        assert ParetoDistribution(10.0, 1.5).mean() == pytest.approx(30.0)

@@ -1,0 +1,96 @@
+"""Unit tests for the cluster / container model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.cluster import Cluster, ClusterConfig
+
+
+class TestClusterConfig:
+    def test_defaults(self):
+        config = ClusterConfig()
+        assert config.num_nodes == 40
+        assert config.slots_per_node == 8
+        assert config.total_slots == 320
+        assert not config.unbounded
+
+    def test_unbounded(self):
+        config = ClusterConfig(num_nodes=0)
+        assert config.unbounded
+        assert config.total_slots == 0
+
+    def test_rejects_negative_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_nodes=-1)
+
+    def test_rejects_zero_slots_on_bounded(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_nodes=2, slots_per_node=0)
+
+
+class TestBoundedCluster:
+    def test_allocate_until_full(self):
+        cluster = Cluster(ClusterConfig(num_nodes=2, slots_per_node=2))
+        containers = [cluster.allocate() for _ in range(4)]
+        assert all(c is not None for c in containers)
+        assert cluster.allocate() is None
+        assert cluster.containers_in_use == 4
+        assert cluster.free_slots == 0
+        assert not cluster.has_capacity()
+
+    def test_release_restores_capacity(self):
+        cluster = Cluster(ClusterConfig(num_nodes=1, slots_per_node=1))
+        container = cluster.allocate()
+        assert cluster.allocate() is None
+        cluster.release(container)
+        assert cluster.has_capacity()
+        assert cluster.allocate() is not None
+
+    def test_release_is_idempotent(self):
+        cluster = Cluster(ClusterConfig(num_nodes=1, slots_per_node=2))
+        container = cluster.allocate()
+        cluster.release(container)
+        cluster.release(container)
+        assert cluster.containers_in_use == 0
+
+    def test_allocation_prefers_least_loaded_node(self):
+        cluster = Cluster(ClusterConfig(num_nodes=2, slots_per_node=2))
+        first = cluster.allocate()
+        second = cluster.allocate()
+        assert first.node_id != second.node_id
+
+    def test_utilisation(self):
+        cluster = Cluster(ClusterConfig(num_nodes=2, slots_per_node=2))
+        assert cluster.utilisation() == 0.0
+        cluster.allocate()
+        assert cluster.utilisation() == pytest.approx(0.25)
+
+    def test_peak_usage_tracked(self):
+        cluster = Cluster(ClusterConfig(num_nodes=1, slots_per_node=3))
+        containers = [cluster.allocate() for _ in range(3)]
+        for container in containers:
+            cluster.release(container)
+        assert cluster.peak_containers_in_use == 3
+        assert cluster.containers_in_use == 0
+
+    def test_container_ids_unique(self):
+        cluster = Cluster(ClusterConfig(num_nodes=2, slots_per_node=2))
+        ids = {cluster.allocate().container_id for _ in range(4)}
+        assert len(ids) == 4
+
+
+class TestUnboundedCluster:
+    def test_always_has_capacity(self):
+        cluster = Cluster(ClusterConfig(num_nodes=0))
+        containers = [cluster.allocate() for _ in range(100)]
+        assert all(c is not None for c in containers)
+        assert cluster.has_capacity()
+        assert cluster.free_slots is None
+        assert cluster.utilisation() == 0.0
+
+    def test_release_works(self):
+        cluster = Cluster(ClusterConfig(num_nodes=0))
+        container = cluster.allocate()
+        cluster.release(container)
+        assert cluster.containers_in_use == 0
