@@ -11,6 +11,10 @@ difference in two ways:
    estimator or the other (false-positive straggler detections launch
    unnecessary speculative attempts).
 
+The end-to-end ablation runs through the declarative scenario façade:
+the two runs differ only in the spec's ``estimator`` registry name
+(``"chronos"`` vs ``"hadoop"``).
+
 Run with::
 
     python examples/estimator_accuracy.py

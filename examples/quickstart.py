@@ -7,7 +7,9 @@ This walks through the core Chronos workflow:
 2. compute the closed-form PoCD and cost of each strategy,
 3. run the joint PoCD/cost optimization (Algorithm 1) to pick the optimal
    number of extra attempts ``r`` for each strategy,
-4. verify the chosen strategy in the discrete-event cluster simulator.
+4. verify the chosen strategy in the discrete-event cluster simulator via
+   the declarative scenario API (``ScenarioSpec`` + ``run``),
+5. sweep the remaining strategies in parallel with ``Sweep``.
 
 Run with::
 
@@ -18,15 +20,14 @@ from __future__ import annotations
 
 from repro import (
     ChronosOptimizer,
-    ClusterConfig,
-    JobSpec,
-    SimulationRunner,
+    ScenarioSpec,
     StragglerModel,
     StrategyName,
-    StrategyParameters,
-    build_strategy,
+    Sweep,
+    WorkloadSpec,
     expected_machine_time,
     pocd,
+    run,
 )
 
 
@@ -69,32 +70,35 @@ def main() -> None:
     print(f"best strategy: {best.strategy.display_name} with r*={best.r_opt}\n")
 
     # ------------------------------------------------------------------
-    # 4. Check the winner in the discrete-event simulator (100 jobs).
+    # 4. Check the winner in the discrete-event simulator.  The scenario
+    #    is pure data: serializable, fingerprinted and reproducible.
     # ------------------------------------------------------------------
-    jobs = [
-        JobSpec(
-            job_id=f"job-{i}",
-            num_tasks=10,
-            deadline=100.0,
-            tmin=20.0,
-            beta=1.5,
-            submit_time=5.0 * i,
-        )
-        for i in range(100)
-    ]
-    runner = SimulationRunner(cluster=ClusterConfig(num_nodes=40, slots_per_node=8), seed=0)
-    report = runner.run(
-        jobs,
-        build_strategy(
-            best.strategy,
-            StrategyParameters(tau_est=40.0, tau_kill=80.0, theta=1e-4, r_min_pocd=0.5),
+    spec = ScenarioSpec(
+        workload=WorkloadSpec(
+            "benchmark",
+            {"name": "sort", "num_jobs": 100, "inter_arrival": 5.0, "deadline": 100.0},
         ),
+        strategy=best.strategy,
+        strategy_params={"tau_est": 40.0, "tau_kill": 80.0, "theta": 1e-4, "r_min_pocd": 0.5},
+        cluster={"num_nodes": 40, "slots_per_node": 8},
+        seed=0,
     )
+    result = run(spec)
+    report = result.report
     print(
-        f"simulated {report.num_jobs} jobs under {best.strategy.display_name}: "
+        f"simulated {report.num_jobs} jobs under {best.strategy.display_name} "
+        f"[scenario {result.fingerprint}, {result.wall_time_s:.2f}s]: "
         f"PoCD={report.pocd:.3f}, mean VM time={report.mean_machine_time:.0f}s, "
-        f"attempts/task={report.mean_attempts_per_task:.2f}"
+        f"attempts/task={report.mean_attempts_per_task:.2f}\n"
     )
+
+    # ------------------------------------------------------------------
+    # 5. Same scenario under every Chronos strategy, two worker processes.
+    # ------------------------------------------------------------------
+    sweep = Sweep.grid(
+        spec, {"strategy": [name.value for name in StrategyName.chronos_strategies()]}
+    )
+    print(sweep.run(jobs=2).to_text())
 
 
 if __name__ == "__main__":

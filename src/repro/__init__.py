@@ -4,6 +4,9 @@ This package reproduces *"Chronos: A Unifying Optimization Framework for
 Speculative Execution of Deadline-critical MapReduce Jobs"* (Xu, Alamro,
 Lan, Subramaniam; ICDCS 2018).  It contains:
 
+* :mod:`repro.api` — the declarative public API: serializable
+  :class:`ScenarioSpec` scenarios, plugin registries, the :func:`run`
+  façade and the parallel :class:`Sweep` executor,
 * :mod:`repro.core` — closed-form PoCD and cost analysis of the Clone,
   Speculative-Restart and Speculative-Resume strategies, the net-utility
   objective and the Algorithm-1 optimizer,
@@ -19,7 +22,31 @@ Lan, Subramaniam; ICDCS 2018).  It contains:
 * :mod:`repro.analysis` — Monte-Carlo validation, sensitivity sweeps and
   the estimator ablation.
 
-Quick start::
+Quick start — describe a scenario declaratively and run it::
+
+    from repro import ScenarioSpec, WorkloadSpec, run
+
+    spec = ScenarioSpec(
+        workload=WorkloadSpec("benchmark", {"name": "sort", "num_jobs": 50}),
+        strategy="s-resume",
+        strategy_params={"tau_est": 40.0, "tau_kill": 80.0, "theta": 1e-4},
+    )
+    result = run(spec)
+    print(result.report.pocd, result.report.mean_cost, result.fingerprint)
+
+Sweep a grid of scenarios across worker processes, with results cached
+by content fingerprint::
+
+    from repro import ResultCache, Sweep
+
+    sweep = Sweep.grid(spec, {
+        "strategy": ["clone", "s-restart", "s-resume"],
+        "strategy_params.theta": [1e-5, 1e-4],
+    })
+    outcome = sweep.run(jobs=4, cache=ResultCache("results/cache"))
+    print(outcome.to_text())
+
+The closed-form analysis remains available for pen-and-paper checks::
 
     from repro import StragglerModel, StrategyName, ChronosOptimizer
 
@@ -28,8 +55,38 @@ Quick start::
     result = ChronosOptimizer(model, theta=1e-4).optimize(
         StrategyName.SPECULATIVE_RESUME)
     print(result.r_opt, result.pocd, result.cost)
+
+Specs serialize to JSON (``spec.to_dict()`` / ``ScenarioSpec.from_dict``)
+and new strategies, estimators and workloads plug in through
+``repro.register_strategy`` / ``register_estimator`` /
+``register_workload`` — no edits to this package required.
+
+.. deprecated:: 1.1
+    ``repro.SimulationRunner`` and ``repro.build_strategy`` are thin
+    shims kept for backwards compatibility; new code should go through
+    :mod:`repro.api` (``ScenarioSpec`` / ``run`` / ``Sweep``).
 """
 
+import importlib
+import warnings
+
+from repro.api import (
+    ResultCache,
+    ScenarioResult,
+    ScenarioSpec,
+    SpecValidationError,
+    Sweep,
+    SweepResult,
+    WorkloadSpec,
+    available_estimators,
+    available_strategies,
+    available_workloads,
+    register_estimator,
+    register_strategy,
+    register_workload,
+    run,
+    run_specs,
+)
 from repro.core import (
     ChronosOptimizer,
     OptimizationResult,
@@ -42,13 +99,51 @@ from repro.core import (
     tradeoff_frontier,
 )
 from repro.distributions import ParetoDistribution
-from repro.simulator import ClusterConfig, JobSpec, SimulationReport, SimulationRunner
-from repro.strategies import StrategyParameters, build_strategy
+from repro.simulator import ClusterConfig, JobSpec, SimulationReport
+from repro.strategies import StrategyParameters
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Deprecated top-level names -> (module, attribute) they now live at.
+_DEPRECATED_SHIMS = {
+    "SimulationRunner": ("repro.simulator.runner", "SimulationRunner"),
+    "build_strategy": ("repro.strategies", "build_strategy"),
+}
+
+
+def __getattr__(name):
+    """Resolve deprecated shims lazily, warning on first use per call site."""
+    if name in _DEPRECATED_SHIMS:
+        module_name, attribute = _DEPRECATED_SHIMS[name]
+        warnings.warn(
+            f"repro.{name} is deprecated; use the declarative API instead "
+            "(repro.ScenarioSpec / repro.run / repro.Sweep)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
     "__version__",
+    # declarative API
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "ScenarioResult",
+    "SpecValidationError",
+    "run",
+    "run_specs",
+    "Sweep",
+    "SweepResult",
+    "ResultCache",
+    "register_strategy",
+    "register_estimator",
+    "register_workload",
+    "available_strategies",
+    "available_estimators",
+    "available_workloads",
+    # closed-form analysis
     "StragglerModel",
     "StrategyName",
     "ChronosOptimizer",
@@ -59,10 +154,12 @@ __all__ = [
     "net_utility",
     "tradeoff_frontier",
     "ParetoDistribution",
-    "SimulationRunner",
+    # simulation building blocks
     "SimulationReport",
     "JobSpec",
     "ClusterConfig",
     "StrategyParameters",
+    # deprecated shims
+    "SimulationRunner",
     "build_strategy",
 ]

@@ -15,19 +15,15 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.api import ScenarioSpec, WorkloadSpec, job_spec_to_dict, run as run_scenario
 from repro.core.model import StrategyName
 from repro.hadoop.config import HadoopConfig
 from repro.simulator.cluster import ClusterConfig
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.entities import Attempt, JobSpec, Task, Job
 from repro.simulator.metrics import SimulationReport
-from repro.simulator.progress import (
-    CompletionTimeEstimator,
-    chronos_estimate_completion,
-    hadoop_estimate_completion,
-)
-from repro.simulator.runner import SimulationRunner
-from repro.strategies import StrategyParameters, build_strategy
+from repro.simulator.progress import CompletionTimeEstimator
+from repro.strategies import StrategyParameters
 
 
 @dataclass(frozen=True)
@@ -70,13 +66,17 @@ def estimator_ablation(
 ) -> EstimatorAblationResult:
     """Run ``strategy_name`` with the Chronos and the Hadoop estimator."""
     params = params if params is not None else StrategyParameters()
-    runner = SimulationRunner(cluster=cluster, hadoop=hadoop_config, seed=seed)
-    chronos_report = runner.run(
-        jobs, build_strategy(strategy_name, params), estimator=chronos_estimate_completion
+    base = ScenarioSpec(
+        workload=WorkloadSpec("explicit", {"jobs": [job_spec_to_dict(job) for job in jobs]}),
+        strategy=strategy_name.value,
+        strategy_params=params,
+        cluster=cluster if cluster is not None else ClusterConfig(),
+        hadoop=hadoop_config if hadoop_config is not None else HadoopConfig(),
+        estimator="chronos",
+        seed=seed,
     )
-    hadoop_report = runner.run(
-        jobs, build_strategy(strategy_name, params), estimator=hadoop_estimate_completion
-    )
+    chronos_report = run_scenario(base).report
+    hadoop_report = run_scenario(base.with_overrides(estimator="hadoop")).report
     return EstimatorAblationResult(
         strategy=strategy_name,
         chronos_report=chronos_report,

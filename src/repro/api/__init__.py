@@ -1,0 +1,88 @@
+"""Declarative scenario API: specs, registries, façade and sweeps.
+
+This package is the public entry point for running simulations.  Instead
+of hand-wiring a runner, a strategy factory and an estimator, callers
+describe *what* to run as a serializable :class:`ScenarioSpec` and let
+:func:`run` (one scenario) or :class:`Sweep` (a grid of scenarios, with
+process-pool parallelism and fingerprint-keyed caching) execute it::
+
+    from repro.api import ScenarioSpec, Sweep, WorkloadSpec, run
+
+    spec = ScenarioSpec(
+        workload=WorkloadSpec("benchmark", {"name": "sort", "num_jobs": 50}),
+        strategy="s-resume",
+        strategy_params={"tau_est": 40.0, "tau_kill": 80.0, "theta": 1e-4},
+    )
+    result = run(spec)
+    print(result.report.pocd, result.fingerprint)
+
+    sweep = Sweep.grid(spec, {"strategy": ["clone", "s-restart", "s-resume"],
+                              "seed": [0, 1, 2]})
+    print(sweep.run(jobs=4).to_text())
+
+Specs round-trip through JSON (``ScenarioSpec.from_dict(spec.to_dict())
+== spec``) and hash stably (:meth:`ScenarioSpec.fingerprint`), so results
+can be cached, compared and shipped across processes.  Strategies,
+completion-time estimators and workload generators are resolved through
+string-keyed plugin registries — see :func:`register_strategy`,
+:func:`register_estimator` and :func:`register_workload` for extending
+the system without editing ``repro``.
+"""
+
+from repro.api.facade import ScenarioResult, report_from_dict, report_to_dict, run
+from repro.api.registry import (
+    ESTIMATORS,
+    STRATEGIES,
+    WORKLOADS,
+    Registry,
+    UnknownPluginError,
+    available_estimators,
+    available_strategies,
+    available_workloads,
+    create_strategy,
+    register_estimator,
+    register_strategy,
+    register_workload,
+)
+from repro.api.spec import (
+    ScenarioSpec,
+    SpecValidationError,
+    WorkloadSpec,
+    canonical_json,
+    job_spec_from_dict,
+    job_spec_to_dict,
+)
+from repro.api.sweep import ResultCache, Sweep, SweepResult, run_specs
+
+__all__ = [
+    # specs
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "SpecValidationError",
+    "canonical_json",
+    "job_spec_to_dict",
+    "job_spec_from_dict",
+    # façade
+    "run",
+    "ScenarioResult",
+    "report_to_dict",
+    "report_from_dict",
+    # sweeps
+    "Sweep",
+    "SweepResult",
+    "ResultCache",
+    "run_specs",
+    # registries
+    "Registry",
+    "UnknownPluginError",
+    "STRATEGIES",
+    "ESTIMATORS",
+    "WORKLOADS",
+    "register_strategy",
+    "register_estimator",
+    "register_workload",
+    "available_strategies",
+    "available_estimators",
+    "available_workloads",
+    "create_strategy",
+]

@@ -1,0 +1,122 @@
+"""The one-call façade: ``run(spec) -> ScenarioResult``.
+
+This is the only place in the repository that wires a
+:class:`~repro.simulator.runner.SimulationRunner` together from a
+declarative :class:`~repro.api.spec.ScenarioSpec`: every experiment
+harness, example and sweep goes through here, so adding a strategy,
+estimator or workload via the registries automatically reaches all of
+them.
+
+A :class:`ScenarioResult` pairs the simulation report with the spec that
+produced it, the spec's fingerprint (the cache key) and the wall time the
+run took.  Results serialize to JSON (:meth:`ScenarioResult.to_dict` /
+``from_dict``) so sweeps can persist an on-disk cache and ship results
+across process boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+from repro.api import registry as _registry
+from repro.api.spec import ScenarioSpec, SpecValidationError
+from repro.core.model import StrategyName
+from repro.simulator.metrics import JobRecord, SimulationReport
+from repro.simulator.runner import SimulationRunner, default_estimator_for
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of running one scenario spec."""
+
+    spec: ScenarioSpec
+    report: SimulationReport
+    fingerprint: str
+    wall_time_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used by the on-disk result cache)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "report": report_to_dict(self.report),
+            "fingerprint": self.fingerprint,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        if not isinstance(data, Mapping):
+            raise SpecValidationError("result", "expected a mapping")
+        missing = [key for key in ("spec", "report", "fingerprint", "wall_time_s") if key not in data]
+        if missing:
+            raise SpecValidationError(f"result.{missing[0]}", "is required")
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            report=report_from_dict(data["report"]),
+            fingerprint=str(data["fingerprint"]),
+            wall_time_s=float(data["wall_time_s"]),
+        )
+
+
+def report_to_dict(report: SimulationReport) -> Dict[str, Any]:
+    """Serialize a :class:`SimulationReport` to JSON-native types."""
+    data = dataclasses.asdict(report)
+    data["strategy"] = getattr(report.strategy, "value", str(report.strategy))
+    data["r_histogram"] = {str(r): count for r, count in report.r_histogram.items()}
+    data["job_records"] = [dataclasses.asdict(record) for record in report.job_records]
+    return data
+
+
+def report_from_dict(data: Mapping[str, Any]) -> SimulationReport:
+    """Rebuild a :class:`SimulationReport` from :func:`report_to_dict` output."""
+    payload = dict(data)
+    try:
+        payload["strategy"] = StrategyName(payload["strategy"])
+    except (KeyError, ValueError):
+        pass  # custom plugin strategies keep their raw string name
+    payload["r_histogram"] = {
+        int(r): int(count) for r, count in dict(payload.get("r_histogram", {})).items()
+    }
+    payload["job_records"] = tuple(
+        JobRecord(**dict(record)) for record in payload.get("job_records", ())
+    )
+    try:
+        return SimulationReport(**payload)
+    except TypeError as error:
+        raise SpecValidationError("result.report", str(error)) from error
+
+
+def run(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one scenario end to end and return its result.
+
+    Resolves the workload, strategy and estimator through the plugin
+    registries, builds a fresh :class:`SimulationRunner` (no state shared
+    between runs) and times the simulation.
+    """
+    if not isinstance(spec, ScenarioSpec):
+        raise SpecValidationError("spec", f"expected ScenarioSpec, got {type(spec).__name__}")
+    jobs = spec.build_jobs()
+    strategy = spec.build_strategy()
+    if spec.estimator is not None:
+        estimator = _registry.ESTIMATORS.get(spec.estimator)
+    else:
+        estimator = default_estimator_for(strategy.name)
+    runner = SimulationRunner(
+        cluster=spec.cluster,
+        hadoop=spec.hadoop,
+        seed=spec.seed,
+        max_events=spec.max_events,
+    )
+    started = time.perf_counter()
+    report = runner.run(jobs, strategy, estimator=estimator)
+    wall_time = time.perf_counter() - started
+    return ScenarioResult(
+        spec=spec,
+        report=report,
+        fingerprint=spec.fingerprint(),
+        wall_time_s=wall_time,
+    )

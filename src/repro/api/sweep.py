@@ -1,0 +1,382 @@
+"""Grid sweeps over scenario specs: parallel execution plus result caching.
+
+:class:`Sweep` expands a base :class:`~repro.api.spec.ScenarioSpec` with a
+list of dotted-path override mappings (or a full cartesian grid via
+:meth:`Sweep.grid`) and runs the resulting scenarios — optionally across a
+``concurrent.futures`` process pool (specs are plain serializable data,
+so they pickle cheaply) and optionally against a fingerprint-keyed
+:class:`ResultCache` so repeated sweeps only pay for scenarios they have
+not seen before.
+
+Example::
+
+    from repro.api import ScenarioSpec, Sweep, WorkloadSpec, ResultCache
+
+    base = ScenarioSpec(
+        workload=WorkloadSpec("google-trace", {"num_jobs": 50}),
+        strategy="s-resume",
+    )
+    sweep = Sweep.grid(base, {
+        "strategy": ["clone", "s-restart", "s-resume"],
+        "strategy_params.theta": [1e-5, 1e-4],
+    })
+    result = sweep.run(jobs=4, cache=ResultCache("results/cache"))
+    print(result.to_text())
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import csv
+import io
+import itertools
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.facade import ScenarioResult, run
+from repro.api.registry import UnknownPluginError
+from repro.api.spec import ScenarioSpec, SpecValidationError
+from repro.simulator.metrics import SimulationReport
+
+
+class ResultCache:
+    """Fingerprint-keyed cache of scenario results.
+
+    Always caches in memory; when given a directory it also persists each
+    result as ``<fingerprint>.json`` so later processes (or a re-run of
+    the same sweep command) skip finished scenarios entirely.  Corrupt or
+    unreadable cache files are treated as misses, never as errors.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None):
+        self._memory: Dict[str, ScenarioResult] = {}
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Optional[Path]:
+        """On-disk location, or ``None`` for a memory-only cache."""
+        return self._directory
+
+    def get(self, fingerprint: str) -> Optional[ScenarioResult]:
+        """The cached result for a fingerprint, or ``None`` on a miss."""
+        if fingerprint in self._memory:
+            return self._memory[fingerprint]
+        if self._directory is not None:
+            path = self._directory / f"{fingerprint}.json"
+            if path.is_file():
+                try:
+                    result = ScenarioResult.from_dict(json.loads(path.read_text()))
+                except (ValueError, TypeError, KeyError):
+                    return None
+                self._memory[fingerprint] = result
+                return result
+        return None
+
+    def put(self, result: ScenarioResult) -> None:
+        """Store a result under its fingerprint (memory and, if set, disk)."""
+        self._memory[result.fingerprint] = result
+        if self._directory is not None:
+            path = self._directory / f"{result.fingerprint}.json"
+            path.write_text(json.dumps(result.to_dict()))
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (on-disk files are left alone)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return isinstance(fingerprint, str) and self.get(fingerprint) is not None
+
+
+def _execute_spec_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool worker: rebuild the spec, run it, return a plain dict.
+
+    Trading dicts (rather than live objects) across the pool exercises the
+    same serialization path as the on-disk cache and keeps the contract
+    picklable regardless of what plugins produce.
+    """
+    return run(ScenarioSpec.from_dict(payload)).to_dict()
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of running a batch of scenarios.
+
+    ``executed`` counts simulations actually performed; ``cache_hits``
+    counts scenarios answered from the cache; duplicate fingerprints
+    within one batch are executed once and fanned back out, so
+    ``executed + cache_hits`` can be less than ``len(results)``.
+    """
+
+    results: Tuple[ScenarioResult, ...]
+    executed: int
+    cache_hits: int
+    wall_time_s: float
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[ScenarioResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> ScenarioResult:
+        return self.results[index]
+
+    @property
+    def reports(self) -> Tuple[SimulationReport, ...]:
+        """The simulation reports, in scenario order."""
+        return tuple(result.report for result in self.results)
+
+    # ------------------------------------------------------------------
+    # Tabular export
+    # ------------------------------------------------------------------
+    #: Columns of the tabular exports, in order.
+    COLUMNS = (
+        "fingerprint",
+        "workload",
+        "strategy",
+        "estimator",
+        "seed",
+        "num_jobs",
+        "pocd",
+        "mean_cost",
+        "mean_machine_time",
+        "mean_response_time",
+        "utility",
+        "wall_time_s",
+    )
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """One summary dict per scenario (columns in :attr:`COLUMNS`)."""
+        rows = []
+        for result in self.results:
+            spec, report = result.spec, result.report
+            params = spec.strategy_params
+            rows.append(
+                {
+                    "fingerprint": result.fingerprint,
+                    "workload": spec.workload.kind,
+                    "strategy": spec.strategy,
+                    "estimator": spec.estimator or "default",
+                    "seed": spec.seed,
+                    "num_jobs": report.num_jobs,
+                    "pocd": report.pocd,
+                    "mean_cost": report.mean_cost,
+                    "mean_machine_time": report.mean_machine_time,
+                    "mean_response_time": report.mean_response_time,
+                    "utility": report.net_utility(
+                        r_min_pocd=params.r_min_pocd, theta=params.theta
+                    ),
+                    "wall_time_s": result.wall_time_s,
+                }
+            )
+        return rows
+
+    def to_csv(self) -> str:
+        """The summary rows as CSV text."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(self.COLUMNS))
+        writer.writeheader()
+        for row in self.to_rows():
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def to_text(self, float_format: str = "{:.4g}") -> str:
+        """The summary rows as an aligned plain-text table."""
+        header = list(self.COLUMNS)
+        body = []
+        for row in self.to_rows():
+            rendered = []
+            for column in header:
+                value = row[column]
+                rendered.append(
+                    float_format.format(value) if isinstance(value, float) else str(value)
+                )
+            body.append(rendered)
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = ["  ".join(header[i].ljust(widths[i]) for i in range(len(header)))]
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for line in body:
+            lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+        lines.append(
+            f"{len(self.results)} scenarios: {self.executed} executed, "
+            f"{self.cache_hits} cache hits, {self.wall_time_s:.1f}s"
+        )
+        return "\n".join(lines)
+
+
+def run_specs(
+    specs: Sequence[ScenarioSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
+    """Run a batch of scenarios, deduplicated by fingerprint.
+
+    Parameters
+    ----------
+    specs:
+        Scenarios to run; results come back in the same order.
+    jobs:
+        Worker processes.  ``1`` runs inline (no pickling); ``>1`` fans
+        the uncached scenarios out over a process pool.
+    cache:
+        Optional :class:`ResultCache` consulted before executing and
+        updated afterwards.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be a positive integer")
+    started = time.perf_counter()
+    fingerprints = [spec.fingerprint() for spec in specs]
+    results: Dict[int, ScenarioResult] = {}
+    cache_hits = 0
+    pending_by_fingerprint: Dict[str, List[int]] = {}
+    for index, (spec, fingerprint) in enumerate(zip(specs, fingerprints)):
+        cached = cache.get(fingerprint) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            cache_hits += 1
+        else:
+            pending_by_fingerprint.setdefault(fingerprint, []).append(index)
+
+    executed = 0
+    if pending_by_fingerprint:
+        todo = [
+            (fingerprint, specs[indices[0]])
+            for fingerprint, indices in pending_by_fingerprint.items()
+        ]
+
+        def commit(position: int, outcome: ScenarioResult) -> None:
+            # Cache and fan out each result the moment it exists, so work
+            # already done survives a later scenario failing mid-batch.
+            if cache is not None:
+                cache.put(outcome)
+            for index in pending_by_fingerprint[todo[position][0]]:
+                results[index] = outcome
+
+        done: Dict[int, ScenarioResult] = {}
+        if jobs > 1 and len(todo) > 1:
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(jobs, len(todo))
+                ) as pool:
+                    futures = {
+                        pool.submit(_execute_spec_payload, spec.to_dict()): position
+                        for position, (_, spec) in enumerate(todo)
+                    }
+                    for future in concurrent.futures.as_completed(futures):
+                        position = futures[future]
+                        try:
+                            outcome = ScenarioResult.from_dict(future.result())
+                        except (SpecValidationError, UnknownPluginError):
+                            # Plugins registered only in this process are
+                            # invisible to spawn/forkserver workers (children
+                            # re-import only the builtins); leave the scenario
+                            # for the inline pass below, which can see them.
+                            continue
+                        done[position] = outcome
+                        commit(position, outcome)
+            except concurrent.futures.process.BrokenProcessPool:
+                pass  # completed scenarios are committed; the rest run inline
+        for position, (_, spec) in enumerate(todo):
+            if position not in done:
+                outcome = run(spec)
+                done[position] = outcome
+                commit(position, outcome)
+        executed = len(done)
+
+    return SweepResult(
+        results=tuple(results[index] for index in range(len(specs))),
+        executed=executed,
+        cache_hits=cache_hits,
+        wall_time_s=time.perf_counter() - started,
+    )
+
+
+class Sweep:
+    """A batch of scenarios derived from one base spec.
+
+    Construct either with an explicit list of override mappings (dotted
+    paths, see :meth:`ScenarioSpec.with_overrides`) or with
+    :meth:`Sweep.grid`, which expands the cartesian product of the given
+    axes.  All scenarios are validated eagerly, so a typo in any override
+    fails fast — before anything is simulated.
+    """
+
+    def __init__(
+        self,
+        base: ScenarioSpec,
+        overrides: Optional[Sequence[Mapping[str, Any]]] = None,
+    ):
+        if not isinstance(base, ScenarioSpec):
+            raise SpecValidationError("base", f"expected ScenarioSpec, got {type(base).__name__}")
+        self._base = base
+        cleaned = []
+        for index, override in enumerate(overrides if overrides is not None else [{}]):
+            if not isinstance(override, Mapping):
+                raise SpecValidationError(
+                    f"overrides[{index}]",
+                    f"must be a mapping of dotted paths to values, got {type(override).__name__}",
+                )
+            cleaned.append(dict(override))
+        self._overrides: Tuple[Dict[str, Any], ...] = tuple(cleaned) or ({},)
+        self._specs = tuple(base.with_overrides(override) for override in self._overrides)
+
+    @staticmethod
+    def grid_overrides(axes: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+        """Expand grid axes into override mappings without building specs."""
+        if not isinstance(axes, Mapping):
+            raise SpecValidationError(
+                "grid", f"must be a mapping of dotted paths to value lists, got {type(axes).__name__}"
+            )
+        for key, values in axes.items():
+            if isinstance(values, (str, bytes)) or not isinstance(values, Sequence) or not values:
+                raise SpecValidationError(
+                    str(key), "grid axis must be a non-empty sequence of values"
+                )
+        keys = list(axes)
+        return [
+            dict(zip(keys, combo)) for combo in itertools.product(*(axes[key] for key in keys))
+        ]
+
+    @classmethod
+    def grid(cls, base: ScenarioSpec, axes: Mapping[str, Sequence[Any]]) -> "Sweep":
+        """Cartesian-product sweep over dotted-path axes.
+
+        ``Sweep.grid(base, {"strategy": [...], "seed": [0, 1]})`` yields
+        one scenario per combination, in row-major (last axis fastest)
+        order.
+        """
+        return cls(base, cls.grid_overrides(axes))
+
+    @property
+    def base(self) -> ScenarioSpec:
+        """The spec the overrides are applied to."""
+        return self._base
+
+    @property
+    def overrides(self) -> Tuple[Dict[str, Any], ...]:
+        """The override mapping of each scenario, in order."""
+        return self._overrides
+
+    @property
+    def specs(self) -> Tuple[ScenarioSpec, ...]:
+        """The expanded scenario specs, in order."""
+        return self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def run(self, *, jobs: int = 1, cache: Optional[ResultCache] = None) -> SweepResult:
+        """Execute the sweep (see :func:`run_specs`)."""
+        return run_specs(self._specs, jobs=jobs, cache=cache)

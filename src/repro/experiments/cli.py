@@ -3,17 +3,36 @@
 Installed as ``chronos-experiments``.  Examples::
 
     chronos-experiments --list
-    chronos-experiments figure2 --scale smoke
+    chronos-experiments figure2 --scale smoke --jobs 4
     chronos-experiments all --scale small --seed 1
+    chronos-experiments sweep --spec sweep.json --jobs 4 --cache-dir .cache
+
+The ``sweep`` command runs a declarative scenario sweep from a JSON file
+of the form::
+
+    {
+      "base": { "workload": {"kind": "google-trace", "params": {"num_jobs": 50}},
+                "strategy": "s-resume" },
+      "grid": { "strategy": ["clone", "s-restart", "s-resume"],
+                "seed": [0, 1] }
+    }
+
+``base`` is a :class:`repro.api.ScenarioSpec` dictionary; ``grid`` maps
+dotted override paths to value lists (cartesian product), and an optional
+``overrides`` list of mappings can be given instead of (or in addition
+to) ``grid``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import Callable, Dict, Iterable, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.api import ResultCache, ScenarioSpec, SpecValidationError, Sweep
 from repro.experiments.common import ExperimentScale, ExperimentTable
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
@@ -21,6 +40,23 @@ from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
+
+
+class UnknownExperimentError(KeyError):
+    """Unknown experiment name(s); the message lists what is available."""
+
+    def __init__(self, unknown: Sequence[str], available: Iterable[str]):
+        self.unknown = tuple(unknown)
+        self.available = tuple(available)
+        self.message = (
+            f"unknown experiments: {', '.join(self.unknown)} "
+            f"(available: {', '.join(self.available)}, all)"
+        )
+        super().__init__(self.message)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message, adding stray quotes.
+        return self.message
 
 
 def _tables_of(result) -> List[ExperimentTable]:
@@ -53,7 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         default=["all"],
-        help="experiment names (figure2, table1, table2, figure3, figure4, figure5) or 'all'",
+        help=(
+            "experiment names (figure2, table1, table2, figure3, figure4, figure5), "
+            "'all', or 'sweep' to run a scenario sweep from --spec"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -62,12 +101,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment scale (smoke: seconds, small: default, full: paper scale)",
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent simulations (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--spec",
+        help="sweep specification JSON file (used by the 'sweep' command)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="fingerprint-keyed result cache directory (used by the 'sweep' command)",
+    )
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit sweep results as CSV instead of an aligned table",
+    )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     return parser
 
 
 def run_experiments(
-    names: Iterable[str], scale: ExperimentScale, seed: int
+    names: Iterable[str], scale: ExperimentScale, seed: int, jobs: int = 1
 ) -> List[ExperimentTable]:
     """Run the named experiments and return all produced tables."""
     selected = list(names)
@@ -75,11 +133,47 @@ def run_experiments(
         selected = list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
-        raise KeyError(f"unknown experiments: {', '.join(unknown)}")
+        raise UnknownExperimentError(unknown, EXPERIMENTS)
     tables: List[ExperimentTable] = []
     for name in selected:
-        tables.extend(_tables_of(EXPERIMENTS[name](scale=scale, seed=seed)))
+        tables.extend(_tables_of(EXPERIMENTS[name](scale=scale, seed=seed, jobs=jobs)))
     return tables
+
+
+def run_sweep_command(args: argparse.Namespace) -> int:
+    """Handle ``chronos-experiments sweep --spec FILE``."""
+    if not args.spec:
+        print("sweep requires --spec FILE (a sweep specification JSON)", file=sys.stderr)
+        return 2
+    path = Path(args.spec)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as error:
+        print(f"cannot read sweep spec {path}: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"invalid JSON in {path}: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(payload, dict) or "base" not in payload:
+        print(f"{path}: sweep spec must be an object with a 'base' scenario", file=sys.stderr)
+        return 2
+    try:
+        base = ScenarioSpec.from_dict(payload["base"])
+        overrides_payload = payload.get("overrides", [])
+        if isinstance(overrides_payload, (str, bytes)) or not isinstance(overrides_payload, list):
+            raise SpecValidationError("overrides", "must be a list of override mappings")
+        overrides = list(overrides_payload)
+        grid = payload.get("grid")
+        if grid:
+            overrides.extend(Sweep.grid_overrides(grid))
+        sweep = Sweep(base, overrides or None)
+    except SpecValidationError as error:
+        print(f"{path}: {error}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    result = sweep.run(jobs=max(1, args.jobs), cache=cache)
+    print(result.to_csv() if args.csv else result.to_text())
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -90,11 +184,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.experiments and args.experiments[0] == "sweep":
+        return run_sweep_command(args)
     scale = ExperimentScale(args.scale)
     started = time.time()
     try:
-        tables = run_experiments(args.experiments, scale=scale, seed=args.seed)
-    except KeyError as error:
+        tables = run_experiments(
+            args.experiments, scale=scale, seed=args.seed, jobs=max(1, args.jobs)
+        )
+    except UnknownExperimentError as error:
         print(error, file=sys.stderr)
         return 2
     for table in tables:

@@ -13,13 +13,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+from repro.api import ScenarioSpec, WorkloadSpec, job_spec_to_dict, run_specs
 from repro.core.model import StrategyName
 from repro.hadoop.config import HadoopConfig
 from repro.simulator.cluster import ClusterConfig
 from repro.simulator.entities import JobSpec
 from repro.simulator.metrics import SimulationReport
-from repro.simulator.runner import SimulationRunner
-from repro.strategies import StrategyParameters, build_strategy
+from repro.strategies import StrategyParameters
 
 
 class ExperimentScale(str, enum.Enum):
@@ -116,6 +116,42 @@ class ExperimentTable:
 # ----------------------------------------------------------------------
 # Simulation helpers shared by the experiments
 # ----------------------------------------------------------------------
+def explicit_workload(jobs: Sequence[JobSpec]) -> WorkloadSpec:
+    """Wrap concrete job specs as a serializable ``explicit`` workload."""
+    return WorkloadSpec("explicit", {"jobs": [job_spec_to_dict(job) for job in jobs]})
+
+
+def suite_specs(
+    jobs: Sequence[JobSpec],
+    strategy_names: Iterable[StrategyName],
+    params: StrategyParameters,
+    cluster: Optional[ClusterConfig] = None,
+    hadoop: Optional[HadoopConfig] = None,
+    seed: int = 0,
+    per_strategy_params: Optional[Mapping[StrategyName, StrategyParameters]] = None,
+) -> List[ScenarioSpec]:
+    """Declarative scenario specs for simulating ``jobs`` under each strategy."""
+    workload = explicit_workload(jobs)
+    cluster = cluster if cluster is not None else ClusterConfig()
+    hadoop = hadoop if hadoop is not None else HadoopConfig()
+    specs: List[ScenarioSpec] = []
+    for name in strategy_names:
+        strategy_params = params
+        if per_strategy_params and name in per_strategy_params:
+            strategy_params = per_strategy_params[name]
+        specs.append(
+            ScenarioSpec(
+                workload=workload,
+                strategy=name.value,
+                strategy_params=strategy_params,
+                cluster=cluster,
+                hadoop=hadoop,
+                seed=seed,
+            )
+        )
+    return specs
+
+
 def run_strategy_suite(
     jobs: Sequence[JobSpec],
     strategy_names: Iterable[StrategyName],
@@ -124,22 +160,28 @@ def run_strategy_suite(
     hadoop: Optional[HadoopConfig] = None,
     seed: int = 0,
     per_strategy_params: Optional[Mapping[StrategyName, StrategyParameters]] = None,
+    parallel_jobs: int = 1,
 ) -> Dict[StrategyName, SimulationReport]:
-    """Simulate the same jobs under several strategies.
+    """Simulate the same jobs under several strategies via the façade.
 
     ``per_strategy_params`` overrides the common parameters for individual
     strategies (Tables I/II give Clone a different ``tau_est`` than the
-    speculative strategies).
+    speculative strategies).  ``parallel_jobs > 1`` fans the per-strategy
+    simulations out over a process pool (each strategy's run is
+    independent: fresh engine, same seed).
     """
-    runner = SimulationRunner(cluster=cluster, hadoop=hadoop, seed=seed)
-    reports: Dict[StrategyName, SimulationReport] = {}
-    for name in strategy_names:
-        strategy_params = params
-        if per_strategy_params and name in per_strategy_params:
-            strategy_params = per_strategy_params[name]
-        strategy = build_strategy(name, strategy_params)
-        reports[name] = runner.run(jobs, strategy)
-    return reports
+    names = list(strategy_names)
+    specs = suite_specs(
+        jobs,
+        names,
+        params,
+        cluster=cluster,
+        hadoop=hadoop,
+        seed=seed,
+        per_strategy_params=per_strategy_params,
+    )
+    sweep = run_specs(specs, jobs=parallel_jobs)
+    return {name: result.report for name, result in zip(names, sweep.results)}
 
 
 def utility_of(

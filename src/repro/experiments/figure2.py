@@ -56,12 +56,14 @@ def run_figure2(
     scale: ExperimentScale = ExperimentScale.SMALL,
     seed: int = 0,
     spot_price: Optional[SpotPriceHistory] = None,
+    jobs: int = 1,
 ) -> Dict[str, ExperimentTable]:
     """Reproduce Figure 2(a)-(c).
 
     Returns a mapping with keys ``"pocd"``, ``"cost"`` and ``"utility"``,
     each an :class:`ExperimentTable` with one row per benchmark and one
-    column per strategy.
+    column per strategy.  ``jobs > 1`` runs the per-strategy simulations
+    of each benchmark in parallel worker processes.
     """
     num_jobs = scale.scaled_jobs(JOBS_PER_BENCHMARK, minimum=20)
     spot_price = spot_price if spot_price is not None else SpotPriceHistory(
@@ -83,7 +85,7 @@ def run_figure2(
 
     rng = np.random.default_rng(seed)
     for benchmark in sorted(BENCHMARKS):
-        jobs = benchmark_jobs(
+        benchmark_job_stream = benchmark_jobs(
             benchmark,
             num_jobs=num_jobs,
             inter_arrival=5.0,
@@ -91,12 +93,13 @@ def run_figure2(
             rng=rng,
         )
         reports = run_strategy_suite(
-            jobs,
+            benchmark_job_stream,
             FIGURE2_STRATEGIES,
             params,
             cluster=cluster,
             hadoop=hadoop,
             seed=seed,
+            parallel_jobs=jobs,
         )
         r_min = reference_pocd(reports)
         tables["pocd"].add_row(

@@ -45,13 +45,15 @@ def run_figure3(
     scale: ExperimentScale = ExperimentScale.SMALL,
     seed: int = 0,
     theta_values: Sequence[float] = THETA_VALUES,
+    jobs: int = 1,
 ) -> Dict[str, ExperimentTable]:
     """Reproduce Figure 3(a)-(c).
 
     Returns tables keyed by ``"pocd"``, ``"cost"`` and ``"utility"``; each
-    has one row per theta value and one column per strategy.
+    has one row per theta value and one column per strategy.  ``jobs > 1``
+    runs each theta's strategy suite in parallel worker processes.
     """
-    jobs = trace_jobs(scale, seed)
+    trace = trace_jobs(scale, seed)
     columns = [name.display_name for name in FIGURE3_STRATEGIES]
     tables = {
         "pocd": ExperimentTable("figure3a", "PoCD vs theta", columns),
@@ -74,7 +76,13 @@ def run_figure3(
             timing_relative_to_tmin=True,
         )
         reports = run_strategy_suite(
-            jobs, FIGURE3_STRATEGIES, params, cluster=cluster, hadoop=hadoop, seed=seed
+            trace,
+            FIGURE3_STRATEGIES,
+            params,
+            cluster=cluster,
+            hadoop=hadoop,
+            seed=seed,
+            parallel_jobs=jobs,
         )
         label = f"theta={theta:g}"
         tables["pocd"].add_row(
@@ -91,5 +99,5 @@ def run_figure3(
             },
         )
     for table in tables.values():
-        table.notes = f"{len(jobs)} trace jobs, tau_est=0.3 tmin, tau_kill=0.8 tmin"
+        table.notes = f"{len(trace)} trace jobs, tau_est=0.3 tmin, tau_kill=0.8 tmin"
     return tables

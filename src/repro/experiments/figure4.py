@@ -43,11 +43,13 @@ def run_figure4(
     scale: ExperimentScale = ExperimentScale.SMALL,
     seed: int = 0,
     beta_values: Sequence[float] = BETA_VALUES,
+    jobs: int = 1,
 ) -> Dict[str, ExperimentTable]:
     """Reproduce Figure 4(a)-(c).
 
     Returns tables keyed by ``"pocd"``, ``"cost"`` and ``"utility"``; one
-    row per beta, one column per strategy.
+    row per beta, one column per strategy.  ``jobs > 1`` runs each beta's
+    strategy suite in parallel worker processes.
     """
     columns = [name.display_name for name in FIGURE4_STRATEGIES]
     tables = {
@@ -66,9 +68,15 @@ def run_figure4(
     )
 
     for beta in beta_values:
-        jobs = trace_jobs(scale, seed, beta_override=beta)
+        trace = trace_jobs(scale, seed, beta_override=beta)
         reports = run_strategy_suite(
-            jobs, FIGURE4_STRATEGIES, params, cluster=cluster, hadoop=hadoop, seed=seed
+            trace,
+            FIGURE4_STRATEGIES,
+            params,
+            cluster=cluster,
+            hadoop=hadoop,
+            seed=seed,
+            parallel_jobs=jobs,
         )
         r_min = reference_pocd(reports)
         label = f"beta={beta:.1f}"

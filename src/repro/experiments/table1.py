@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.api import ScenarioSpec, run_specs
 from repro.core.model import StrategyName
-from repro.experiments.common import ExperimentScale, ExperimentTable, run_strategy_suite
+from repro.experiments.common import ExperimentScale, ExperimentTable, explicit_workload
 from repro.hadoop.config import HadoopConfig
 from repro.simulator.cluster import ClusterConfig
 from repro.simulator.entities import JobSpec
@@ -49,9 +50,14 @@ def run_table1(
     scale: ExperimentScale = ExperimentScale.SMALL,
     seed: int = 0,
     theta: float = THETA,
+    jobs: int = 1,
 ) -> ExperimentTable:
-    """Reproduce Table I (PoCD / cost / utility vs ``tau_est``)."""
-    jobs = trace_jobs(scale, seed)
+    """Reproduce Table I (PoCD / cost / utility vs ``tau_est``).
+
+    ``jobs > 1`` runs the independent (strategy, timing) rows in parallel
+    worker processes.
+    """
+    trace = trace_jobs(scale, seed)
     table = ExperimentTable(
         "table1",
         "Performance with varying tau_est (tau_kill - tau_est = 0.5 tmin)",
@@ -64,9 +70,9 @@ def run_table1(
     for factor in TAU_EST_FACTORS:
         rows.append((StrategyName.SPECULATIVE_RESUME, factor, factor + WINDOW_FACTOR))
 
-    _fill_rows(table, jobs, rows, seed=seed, theta=theta)
+    _fill_rows(table, trace, rows, seed=seed, theta=theta, parallel_jobs=jobs)
     table.notes = (
-        f"{len(jobs)} trace jobs, timing expressed as multiples of each job's tmin, "
+        f"{len(trace)} trace jobs, timing expressed as multiples of each job's tmin, "
         f"theta={theta}"
     )
     return table
@@ -78,22 +84,37 @@ def _fill_rows(
     rows: Sequence[tuple],
     seed: int,
     theta: float,
+    parallel_jobs: int = 1,
 ) -> None:
-    """Simulate each (strategy, tau_est, tau_kill) row and add it to the table."""
+    """Simulate each (strategy, tau_est, tau_kill) row and add it to the table.
+
+    The rows are independent simulations, so they are expressed as one
+    batch of scenario specs and executed together — in worker processes
+    when ``parallel_jobs > 1``.
+    """
     cluster = ClusterConfig(num_nodes=0)  # unbounded: the paper's datacenter is large
     hadoop = HadoopConfig()
-    for strategy_name, tau_est_factor, tau_kill_factor in rows:
-        params = StrategyParameters(
-            tau_est=tau_est_factor,
-            tau_kill=tau_kill_factor,
-            theta=theta,
-            unit_price=1.0,
-            timing_relative_to_tmin=True,
+    workload = explicit_workload(jobs)
+    specs = [
+        ScenarioSpec(
+            workload=workload,
+            strategy=strategy_name.value,
+            strategy_params=StrategyParameters(
+                tau_est=tau_est_factor,
+                tau_kill=tau_kill_factor,
+                theta=theta,
+                unit_price=1.0,
+                timing_relative_to_tmin=True,
+            ),
+            cluster=cluster,
+            hadoop=hadoop,
+            seed=seed,
         )
-        reports = run_strategy_suite(
-            jobs, [strategy_name], params, cluster=cluster, hadoop=hadoop, seed=seed
-        )
-        report = reports[strategy_name]
+        for strategy_name, tau_est_factor, tau_kill_factor in rows
+    ]
+    sweep = run_specs(specs, jobs=parallel_jobs)
+    for (strategy_name, tau_est_factor, tau_kill_factor), result in zip(rows, sweep.results):
+        report = result.report
         label = (
             f"{strategy_name.display_name} @ tau_est={tau_est_factor:.1f}tmin, "
             f"tau_kill={tau_kill_factor:.1f}tmin"

@@ -28,9 +28,14 @@ def run_table2(
     scale: ExperimentScale = ExperimentScale.SMALL,
     seed: int = 0,
     theta: float = THETA,
+    jobs: int = 1,
 ) -> ExperimentTable:
-    """Reproduce Table II (PoCD / cost / utility vs ``tau_kill``)."""
-    jobs = trace_jobs(scale, seed)
+    """Reproduce Table II (PoCD / cost / utility vs ``tau_kill``).
+
+    ``jobs > 1`` runs the independent (strategy, timing) rows in parallel
+    worker processes.
+    """
+    trace = trace_jobs(scale, seed)
     table = ExperimentTable(
         "table2",
         "Performance with varying tau_kill (tau_est fixed)",
@@ -45,9 +50,9 @@ def run_table2(
     for factor in TAU_KILL_FACTORS:
         rows.append((StrategyName.SPECULATIVE_RESUME, TAU_EST_FACTOR, factor))
 
-    _fill_rows(table, jobs, rows, seed=seed, theta=theta)
+    _fill_rows(table, trace, rows, seed=seed, theta=theta, parallel_jobs=jobs)
     table.notes = (
-        f"{len(jobs)} trace jobs, timing expressed as multiples of each job's tmin, "
+        f"{len(trace)} trace jobs, timing expressed as multiples of each job's tmin, "
         f"theta={theta}"
     )
     return table

@@ -9,7 +9,9 @@ times, progress reports, straggler detection at ``tau_est``, attempt
 killing at ``tau_kill``, and heartbeat-driven speculation for the
 baselines.
 
-Entry point::
+Most callers should not wire this up by hand: the declarative façade in
+:mod:`repro.api` builds runners from serializable scenario specs.  The
+low-level entry point remains available for custom setups::
 
     from repro.simulator import SimulationRunner, ClusterConfig
     from repro.strategies import build_strategy
@@ -35,9 +37,10 @@ from repro.simulator.progress import (
     chronos_estimate_completion,
     hadoop_estimate_completion,
 )
-from repro.simulator.runner import SimulationRunner
+from repro.simulator.runner import SimulationRunner, SpeculationStrategyProtocol
 
 __all__ = [
+    "SpeculationStrategyProtocol",
     "SimulationEngine",
     "Event",
     "Cluster",

@@ -13,8 +13,8 @@ parameters without hidden coupling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.core.model import StrategyName
 from repro.hadoop.app_master import ApplicationMaster
@@ -32,12 +32,52 @@ from repro.simulator.progress import (
 )
 
 
+if TYPE_CHECKING:  # pragma: no cover - imports for type checking only
+    from repro.simulator.entities import Attempt, Task
+    from repro.strategies.base import StrategyParameters
+
+
+@runtime_checkable
+class SpeculationStrategyProtocol(Protocol):
+    """Structural interface the runner (and Application Master) expect.
+
+    Any object with a ``name``, ``params`` and the four hooks below can
+    drive a simulation — :class:`repro.strategies.base.SpeculationStrategy`
+    subclasses satisfy it, and so can third-party strategies registered
+    through :func:`repro.api.register_strategy` without inheriting from
+    anything in this package.
+    """
+
+    name: StrategyName
+    params: "StrategyParameters"
+
+    def plan_job(self, am) -> int:
+        """Number of extra attempts ``r`` for a job."""
+        ...
+
+    def initial_attempt_count(self, am, task: "Task") -> int:
+        """Attempts to launch per task at job start."""
+        ...
+
+    def on_job_start(self, am) -> None:
+        """Schedule the strategy's checks for a job."""
+        ...
+
+    def on_task_complete(self, am, task: "Task", attempt: "Attempt") -> None:
+        """Hook invoked when a task finishes."""
+        ...
+
+
+#: Deprecated alias kept for backwards compatibility; use the Protocol.
+SpeculationStrategyLike = SpeculationStrategyProtocol
+
+
 @dataclass(frozen=True)
 class RunnerConfig:
     """Configuration of a simulation run."""
 
-    cluster: ClusterConfig = ClusterConfig()
-    hadoop: HadoopConfig = HadoopConfig()
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    hadoop: HadoopConfig = field(default_factory=HadoopConfig)
     seed: int = 0
     max_events: Optional[int] = None
 
@@ -67,7 +107,7 @@ class SimulationRunner:
     def run(
         self,
         jobs: Iterable[JobSpec],
-        strategy: "SpeculationStrategyLike",
+        strategy: SpeculationStrategyProtocol,
         estimator: Optional[CompletionTimeEstimator] = None,
     ) -> SimulationReport:
         """Simulate ``jobs`` under ``strategy`` and return the report.
@@ -125,7 +165,7 @@ class SimulationRunner:
     def run_strategies(
         self,
         jobs: Sequence[JobSpec],
-        strategies: Iterable["SpeculationStrategyLike"],
+        strategies: Iterable[SpeculationStrategyProtocol],
         estimator: Optional[CompletionTimeEstimator] = None,
     ) -> Dict[StrategyName, SimulationReport]:
         """Run the same jobs under several strategies (fresh engine each time)."""
@@ -136,13 +176,12 @@ class SimulationRunner:
 
 
 def default_estimator_for(name: StrategyName) -> CompletionTimeEstimator:
-    """The completion-time estimator each strategy uses in the paper."""
-    if name.is_chronos:
+    """The completion-time estimator each strategy uses in the paper.
+
+    Tolerates plugin strategies whose ``name`` is not a
+    :class:`StrategyName`: anything without a truthy ``is_chronos``
+    attribute gets the plain Hadoop estimator.
+    """
+    if getattr(name, "is_chronos", False):
         return chronos_estimate_completion
     return hadoop_estimate_completion
-
-
-class SpeculationStrategyLike:
-    """Typing helper: anything with the strategy interface and a ``name``."""
-
-    name: StrategyName

@@ -1,0 +1,105 @@
+"""Tests of the run(spec) façade and result serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    ScenarioResult,
+    ScenarioSpec,
+    SpecValidationError,
+    WorkloadSpec,
+    job_spec_to_dict,
+    report_from_dict,
+    report_to_dict,
+    run,
+)
+from repro.core.model import StrategyName
+from repro.simulator.cluster import ClusterConfig
+from repro.simulator.entities import JobSpec
+from repro.simulator.runner import SimulationRunner, SpeculationStrategyProtocol
+from repro.strategies import StrategyParameters, build_strategy
+
+
+@pytest.fixture
+def job_stream():
+    return [
+        JobSpec(job_id=f"j{i}", num_tasks=5, deadline=100.0, tmin=20.0, beta=1.4, submit_time=i)
+        for i in range(6)
+    ]
+
+
+@pytest.fixture
+def spec(job_stream):
+    return ScenarioSpec(
+        workload=WorkloadSpec("explicit", {"jobs": [job_spec_to_dict(j) for j in job_stream]}),
+        strategy="s-resume",
+        strategy_params=StrategyParameters(tau_est=40.0, tau_kill=80.0),
+        cluster=ClusterConfig(num_nodes=0),
+        seed=1,
+    )
+
+
+class TestRunFacade:
+    def test_matches_direct_runner_wiring(self, spec, job_stream):
+        """The façade is a pure re-expression of the manual wiring."""
+        result = run(spec)
+        runner = SimulationRunner(cluster=ClusterConfig(num_nodes=0), seed=1)
+        direct = runner.run(
+            job_stream,
+            build_strategy(
+                StrategyName.SPECULATIVE_RESUME,
+                StrategyParameters(tau_est=40.0, tau_kill=80.0),
+            ),
+        )
+        assert result.report.pocd == direct.pocd
+        assert result.report.mean_cost == direct.mean_cost
+        assert result.report.mean_response_time == direct.mean_response_time
+
+    def test_result_carries_spec_and_fingerprint(self, spec):
+        result = run(spec)
+        assert result.spec == spec
+        assert result.fingerprint == spec.fingerprint()
+        assert result.wall_time_s >= 0.0
+
+    def test_estimator_override_changes_behaviour(self, spec):
+        chronos = run(spec.with_overrides(estimator="chronos"))
+        hadoop = run(spec.with_overrides(estimator="hadoop"))
+        # Both run to completion on the same jobs; only the estimator differs.
+        assert chronos.report.num_jobs == hadoop.report.num_jobs
+        assert chronos.fingerprint != hadoop.fingerprint
+
+    def test_deterministic_for_a_fingerprint(self, spec):
+        a, b = run(spec), run(spec)
+        assert a.fingerprint == b.fingerprint
+        assert a.report == b.report
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(SpecValidationError):
+            run({"strategy": "clone"})
+
+    def test_strategies_satisfy_protocol(self):
+        strategy = build_strategy(StrategyName.CLONE, StrategyParameters())
+        assert isinstance(strategy, SpeculationStrategyProtocol)
+
+
+class TestResultSerialization:
+    def test_round_trip_preserves_report(self, spec):
+        result = run(spec)
+        rebuilt = ScenarioResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.spec == result.spec
+        assert rebuilt.fingerprint == result.fingerprint
+        assert rebuilt.report == result.report
+
+    def test_report_histogram_keys_survive_json(self, spec):
+        report = run(spec).report
+        rebuilt = report_from_dict(json.loads(json.dumps(report_to_dict(report))))
+        assert rebuilt.r_histogram == report.r_histogram
+        assert all(isinstance(key, int) for key in rebuilt.r_histogram)
+
+    def test_missing_result_field_names_it(self):
+        with pytest.raises(SpecValidationError) as excinfo:
+            ScenarioResult.from_dict({"fingerprint": "x"})
+        assert excinfo.value.field == "result.spec"

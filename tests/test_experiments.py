@@ -16,7 +16,13 @@ from repro.experiments import (
     run_table1,
     run_table2,
 )
-from repro.experiments.cli import EXPERIMENTS, build_parser, main, run_experiments
+from repro.experiments.cli import (
+    EXPERIMENTS,
+    UnknownExperimentError,
+    build_parser,
+    main,
+    run_experiments,
+)
 from repro.experiments.common import ExperimentRow
 
 
@@ -98,6 +104,13 @@ class TestTable1:
     def test_has_seven_rows(self, table1):
         assert len(table1.rows) == 7
 
+    def test_parallel_jobs_match_inline(self, table1):
+        """The process-pool path reproduces the inline results exactly."""
+        parallel = run_table1(scale=ExperimentScale.SMOKE, seed=0, jobs=2)
+        assert [row.label for row in parallel.rows] == [row.label for row in table1.rows]
+        assert parallel.column("pocd") == table1.column("pocd")
+        assert parallel.column("cost") == table1.column("cost")
+
     def test_pocd_and_cost_positive(self, table1):
         for row in table1.rows:
             assert 0.0 <= row.value("pocd") <= 1.0
@@ -154,3 +167,85 @@ class TestCLI:
 
     def test_main_rejects_unknown(self, capsys):
         assert main(["nope"]) == 2
+
+    def test_unknown_experiment_message_lists_available(self, capsys):
+        """Regression: exit 2 with a readable message, not a bare KeyError repr."""
+        exit_code = main(["nope", "figure2"])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "unknown experiments: nope" in err
+        for name in EXPERIMENTS:
+            assert name in err
+        assert err.strip() == str(UnknownExperimentError(["nope"], EXPERIMENTS))
+        assert "'" not in err  # no repr() quoting
+
+    def test_parser_accepts_jobs(self):
+        args = build_parser().parse_args(["figure5", "--jobs", "3"])
+        assert args.jobs == 3
+
+
+class TestSweepCommand:
+    def _sweep_payload(self):
+        return {
+            "base": {
+                "workload": {
+                    "kind": "benchmark",
+                    "params": {"name": "sort", "num_jobs": 3},
+                },
+                "strategy": "s-resume",
+                "strategy_params": {"tau_est": 30.0, "tau_kill": 60.0, "fixed_r": 1},
+                "cluster": {"num_nodes": 0},
+            },
+            "grid": {"strategy": ["hadoop-ns", "s-resume"], "seed": [0, 1]},
+        }
+
+    def test_sweep_runs_from_spec_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(self._sweep_payload()))
+        assert main(["sweep", "--spec", str(path), "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hadoop-ns" in out and "s-resume" in out
+        assert "4 scenarios: 4 executed" in out
+
+    def test_sweep_cache_dir_short_circuits_second_run(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(self._sweep_payload()))
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "--spec", path.as_posix(), "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--spec", path.as_posix(), "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 4 cache hits" in out
+
+    def test_sweep_requires_spec(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"base": {"workload": {"kind": "mixed"}, "strategy": "warp"}}')
+        assert main(["sweep", "--spec", str(path)]) == 2
+        assert "strategy" in capsys.readouterr().err
+
+    def test_sweep_rejects_malformed_grid(self, tmp_path, capsys):
+        """Regression: a list-valued grid is a diagnostic, not a traceback."""
+        path = tmp_path / "bad_grid.json"
+        path.write_text(
+            '{"base": {"workload": {"kind": "mixed"}, "strategy": "clone"},'
+            ' "grid": ["strategy"]}'
+        )
+        assert main(["sweep", "--spec", str(path)]) == 2
+        assert "grid" in capsys.readouterr().err
+
+    def test_sweep_rejects_malformed_overrides(self, tmp_path, capsys):
+        path = tmp_path / "bad_overrides.json"
+        path.write_text(
+            '{"base": {"workload": {"kind": "mixed"}, "strategy": "clone"},'
+            ' "overrides": [3]}'
+        )
+        assert main(["sweep", "--spec", str(path)]) == 2
+        assert "overrides[0]" in capsys.readouterr().err

@@ -10,22 +10,24 @@ from repro import (
     ClusterConfig,
     JobSpec,
     ParetoDistribution,
-    SimulationRunner,
+    ScenarioSpec,
     StragglerModel,
     StrategyName,
     StrategyParameters,
-    build_strategy,
+    Sweep,
+    WorkloadSpec,
     expected_cost,
     expected_machine_time,
     net_utility,
     pocd,
+    run,
     tradeoff_frontier,
 )
 
 
 class TestPackageSurface:
     def test_version_string(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -53,19 +55,64 @@ class TestPackageSurface:
         assert net_utility(model, StrategyName.CLONE, 1, UtilityParameters()) < 0
         assert len(tradeoff_frontier(model, StrategyName.CLONE, r_max=4)) >= 1
 
-    def test_simulation_flow(self):
+    def test_declarative_simulation_flow(self):
+        """The documented path: describe a scenario, run it."""
+        spec = ScenarioSpec(
+            workload=WorkloadSpec("benchmark", {"name": "sort", "num_jobs": 5}),
+            strategy="s-resume",
+            strategy_params={"tau_est": 40.0, "tau_kill": 80.0},
+            cluster={"num_nodes": 0},
+        )
+        result = run(spec)
+        assert result.report.num_jobs == 5
+        assert result.fingerprint == spec.fingerprint()
+
+    def test_sweep_exposed_at_top_level(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSpec("benchmark", {"name": "sort", "num_jobs": 5}),
+            strategy="s-resume",
+            cluster={"num_nodes": 0},
+        )
+        sweep = Sweep.grid(spec, {"strategy": ["hadoop-ns", "s-resume"]})
+        assert len(sweep) == 2
+
+    def test_pareto_exposed(self):
+        assert ParetoDistribution(10.0, 1.5).mean() == pytest.approx(30.0)
+
+
+class TestDeprecatedShims:
+    def test_simulation_runner_shim_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="SimulationRunner is deprecated"):
+            runner_cls = repro.SimulationRunner
+        from repro.simulator.runner import SimulationRunner
+
+        assert runner_cls is SimulationRunner
+
+    def test_build_strategy_shim_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="build_strategy is deprecated"):
+            factory = repro.build_strategy
+        strategy = factory(
+            StrategyName.SPECULATIVE_RESUME, StrategyParameters(tau_est=40.0, tau_kill=80.0)
+        )
+        assert strategy.name is StrategyName.SPECULATIVE_RESUME
+
+    def test_deprecated_flow_still_runs(self):
+        """The pre-1.1 hand-wired flow keeps working through the shims."""
         jobs = [
             JobSpec(job_id=f"j{i}", num_tasks=5, deadline=100.0, tmin=20.0, beta=1.4, submit_time=i)
             for i in range(5)
         ]
-        runner = SimulationRunner(cluster=ClusterConfig(num_nodes=0), seed=0)
-        report = runner.run(
-            jobs,
-            build_strategy(
-                StrategyName.SPECULATIVE_RESUME, StrategyParameters(tau_est=40.0, tau_kill=80.0)
-            ),
-        )
+        with pytest.warns(DeprecationWarning):
+            runner = repro.SimulationRunner(cluster=ClusterConfig(num_nodes=0), seed=0)
+            report = runner.run(
+                jobs,
+                repro.build_strategy(
+                    StrategyName.SPECULATIVE_RESUME,
+                    StrategyParameters(tau_est=40.0, tau_kill=80.0),
+                ),
+            )
         assert report.num_jobs == 5
 
-    def test_pareto_exposed(self):
-        assert ParetoDistribution(10.0, 1.5).mean() == pytest.approx(30.0)
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_an_attribute
