@@ -1,0 +1,68 @@
+"""Benchmark sweep throughput across the three executor backends.
+
+Runs the same small scenario grid through the inline, process-pool and
+distributed executors and records scenarios/sec in the benchmark
+``extra_info``, so ``--benchmark-verbose`` (or saved benchmark JSON)
+shows how much the parallel backends buy — and what the queue's
+durability costs — on this machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ScenarioSpec, WorkloadSpec, job_spec_to_dict, run_specs
+from repro.simulator.entities import JobSpec
+
+#: Grid size: 2 strategies x 2 seeds x 2 thetas.
+GRID = {
+    "strategy": ["hadoop-ns", "s-resume"],
+    "seed": [0, 1],
+    "strategy_params.theta": [1e-5, 1e-4],
+}
+
+
+def _sweep_specs():
+    jobs = [
+        JobSpec(
+            job_id=f"j{i}", num_tasks=4, deadline=90.0, tmin=15.0, beta=1.5, submit_time=2.0 * i
+        )
+        for i in range(4)
+    ]
+    base = ScenarioSpec(
+        workload=WorkloadSpec("explicit", {"jobs": [job_spec_to_dict(j) for j in jobs]}),
+        strategy="s-resume",
+        strategy_params={"tau_est": 30.0, "tau_kill": 60.0, "fixed_r": 1},
+        cluster={"num_nodes": 0},
+    )
+    from repro.api import Sweep
+
+    return Sweep.grid(base, GRID).specs
+
+
+@pytest.mark.parametrize("executor", ["inline", "pool", "distributed"])
+def test_sweep_executor_throughput(benchmark, executor, tmp_path):
+    specs = _sweep_specs()
+    kwargs = {"executor": executor}
+    if executor == "pool":
+        kwargs["workers"] = 2
+    elif executor == "distributed":
+        kwargs["workers"] = 2
+        kwargs["db"] = tmp_path / "queue.sqlite"
+
+    def sweep_once():
+        # A fresh distributed run each round would be answered from the
+        # result store; benchmark the first (cold) run only.
+        if executor == "distributed":
+            db = kwargs["db"]
+            for leftover in db.parent.glob(db.name + "*"):
+                leftover.unlink()
+        return run_specs(specs, **kwargs)
+
+    outcome = benchmark.pedantic(sweep_once, rounds=1, iterations=1)
+    assert len(outcome.results) == len(specs)
+    assert outcome.executed == len(specs)
+    elapsed = max(outcome.wall_time_s, 1e-9)
+    benchmark.extra_info["executor"] = executor
+    benchmark.extra_info["scenarios"] = len(specs)
+    benchmark.extra_info["scenarios_per_sec"] = len(specs) / elapsed

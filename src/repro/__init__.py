@@ -7,6 +7,9 @@ Lan, Subramaniam; ICDCS 2018).  It contains:
 * :mod:`repro.api` — the declarative public API: serializable
   :class:`ScenarioSpec` scenarios, plugin registries, the :func:`run`
   façade and the parallel :class:`Sweep` executor,
+* :mod:`repro.distributed` — the ``"distributed"`` sweep backend: a
+  durable sqlite work queue, lease-based worker processes with crash
+  recovery, and a sqlite result store,
 * :mod:`repro.core` — closed-form PoCD and cost analysis of the Clone,
   Speculative-Restart and Speculative-Resume strategies, the net-utility
   objective and the Algorithm-1 optimizer,
@@ -86,6 +89,7 @@ from repro.api import (
     register_workload,
     run,
     run_specs,
+    set_default_executor,
 )
 from repro.core import (
     ChronosOptimizer,
@@ -102,7 +106,7 @@ from repro.distributions import ParetoDistribution
 from repro.simulator import ClusterConfig, JobSpec, SimulationReport
 from repro.strategies import StrategyParameters
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Deprecated top-level names -> (module, attribute) they now live at.
 _DEPRECATED_SHIMS = {
@@ -137,6 +141,7 @@ __all__ = [
     "Sweep",
     "SweepResult",
     "ResultCache",
+    "set_default_executor",
     "register_strategy",
     "register_estimator",
     "register_workload",

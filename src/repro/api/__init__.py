@@ -52,7 +52,15 @@ from repro.api.spec import (
     job_spec_from_dict,
     job_spec_to_dict,
 )
-from repro.api.sweep import ResultCache, Sweep, SweepResult, run_specs
+from repro.api.sweep import (
+    EXECUTORS,
+    ResultCache,
+    Sweep,
+    SweepResult,
+    default_executor,
+    run_specs,
+    set_default_executor,
+)
 
 __all__ = [
     # specs
@@ -72,6 +80,9 @@ __all__ = [
     "SweepResult",
     "ResultCache",
     "run_specs",
+    "EXECUTORS",
+    "set_default_executor",
+    "default_executor",
     # registries
     "Registry",
     "UnknownPluginError",

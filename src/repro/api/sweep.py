@@ -2,11 +2,13 @@
 
 :class:`Sweep` expands a base :class:`~repro.api.spec.ScenarioSpec` with a
 list of dotted-path override mappings (or a full cartesian grid via
-:meth:`Sweep.grid`) and runs the resulting scenarios — optionally across a
-``concurrent.futures`` process pool (specs are plain serializable data,
-so they pickle cheaply) and optionally against a fingerprint-keyed
-:class:`ResultCache` so repeated sweeps only pay for scenarios they have
-not seen before.
+:meth:`Sweep.grid`) and runs the resulting scenarios through a pluggable
+executor backend — ``"inline"`` (this process), ``"pool"`` (a
+``concurrent.futures`` process pool; specs are plain serializable data,
+so they pickle cheaply) or ``"distributed"`` (a durable sqlite queue
+shared by worker processes, see :mod:`repro.distributed`) — optionally
+against a fingerprint-keyed :class:`ResultCache` so repeated sweeps only
+pay for scenarios they have not seen before.
 
 Example::
 
@@ -21,6 +23,7 @@ Example::
         "strategy_params.theta": [1e-5, 1e-4],
     })
     result = sweep.run(jobs=4, cache=ResultCache("results/cache"))
+    result = sweep.run(executor="distributed", workers=3, db="queue.sqlite")
     print(result.to_text())
 """
 
@@ -31,7 +34,9 @@ import csv
 import io
 import itertools
 import json
+import os
 import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
@@ -78,11 +83,19 @@ class ResultCache:
         return None
 
     def put(self, result: ScenarioResult) -> None:
-        """Store a result under its fingerprint (memory and, if set, disk)."""
+        """Store a result under its fingerprint (memory and, if set, disk).
+
+        The disk write goes through a uniquely-named temp file in the
+        same directory followed by an atomic rename, so concurrent
+        writers of one fingerprint (two sweeps sharing a cache dir) can
+        never leave — or let a reader observe — interleaved partial JSON.
+        """
         self._memory[result.fingerprint] = result
         if self._directory is not None:
             path = self._directory / f"{result.fingerprint}.json"
-            path.write_text(json.dumps(result.to_dict()))
+            temp = self._directory / f"{result.fingerprint}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+            temp.write_text(json.dumps(result.to_dict()))
+            os.replace(temp, path)
 
     def clear(self) -> None:
         """Drop the in-memory entries (on-disk files are left alone)."""
@@ -103,6 +116,47 @@ def _execute_spec_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     picklable regardless of what plugins produce.
     """
     return run(ScenarioSpec.from_dict(payload)).to_dict()
+
+
+# ----------------------------------------------------------------------
+# Executor backends
+# ----------------------------------------------------------------------
+#: Names of the pluggable executor backends.
+EXECUTORS = ("inline", "pool", "distributed")
+
+#: Process-wide executor defaults, set by :func:`set_default_executor`.
+_executor_defaults: Dict[str, Any] = {"executor": None, "workers": None, "db": None}
+
+
+def set_default_executor(
+    executor: Optional[str] = None,
+    *,
+    workers: Optional[int] = None,
+    db: Optional[Union[str, Path]] = None,
+) -> None:
+    """Set the process-wide executor backend used when callers pass none.
+
+    This is how whole call trees that predate the distributed backend —
+    the six experiment harnesses, ``run_strategy_suite``, user scripts —
+    can be pointed at a worker fleet without changing a line of them:
+    the CLI (``--executor distributed --workers 4``) or a conftest sets
+    the default once, and every :func:`run_specs` call follows it.
+
+    ``executor=None`` restores the automatic choice (``"pool"`` when
+    ``jobs > 1``, else ``"inline"``).
+    """
+    if executor is not None and executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r} (available: {', '.join(EXECUTORS)})")
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be a positive integer")
+    _executor_defaults["executor"] = executor
+    _executor_defaults["workers"] = workers
+    _executor_defaults["db"] = db
+
+
+def default_executor() -> Optional[str]:
+    """The process-wide default backend, or ``None`` for automatic."""
+    return _executor_defaults["executor"]
 
 
 @dataclass(frozen=True)
@@ -220,6 +274,10 @@ def run_specs(
     *,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
+    db: Optional[Union[str, Path]] = None,
+    lease_timeout: Optional[float] = None,
 ) -> SweepResult:
     """Run a batch of scenarios, deduplicated by fingerprint.
 
@@ -231,11 +289,40 @@ def run_specs(
         Worker processes.  ``1`` runs inline (no pickling); ``>1`` fans
         the uncached scenarios out over a process pool.
     cache:
-        Optional :class:`ResultCache` consulted before executing and
-        updated afterwards.
+        Optional :class:`ResultCache` (or any object with the same
+        ``get``/``put`` surface, e.g.
+        :class:`repro.distributed.SqliteResultStore`) consulted before
+        executing and updated afterwards.
+    executor:
+        Backend: ``"inline"``, ``"pool"`` or ``"distributed"``.  ``None``
+        follows :func:`set_default_executor`, falling back to ``"pool"``
+        when ``jobs > 1`` and ``"inline"`` otherwise.
+    workers:
+        Worker count for the pool/distributed backends (defaults to
+        ``jobs``, or 3 for ``"distributed"`` when ``jobs`` is 1).
+    db:
+        Queue database path for the distributed backend.  ``None`` uses a
+        throwaway per-run database; pass a real path to make the queue
+        durable — scenarios already in its result store are *not*
+        re-executed (they count as cache hits).
+    lease_timeout:
+        Seconds a distributed worker's task lease survives without a
+        heartbeat before the task is requeued (default 30).
     """
     if jobs < 1:
         raise ValueError("jobs must be a positive integer")
+    if executor is None:
+        executor = _executor_defaults["executor"]
+    if executor is None:
+        executor = "pool" if jobs > 1 else "inline"
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r} (available: {', '.join(EXECUTORS)})")
+    if workers is None:
+        workers = _executor_defaults["workers"]
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be a positive integer")
+    if db is None:
+        db = _executor_defaults["db"]
     started = time.perf_counter()
     fingerprints = [spec.fingerprint() for spec in specs]
     results: Dict[int, ScenarioResult] = {}
@@ -265,35 +352,56 @@ def run_specs(
                 results[index] = outcome
 
         done: Dict[int, ScenarioResult] = {}
-        if jobs > 1 and len(todo) > 1:
-            try:
-                with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=min(jobs, len(todo))
-                ) as pool:
-                    futures = {
-                        pool.submit(_execute_spec_payload, spec.to_dict()): position
-                        for position, (_, spec) in enumerate(todo)
-                    }
-                    for future in concurrent.futures.as_completed(futures):
-                        position = futures[future]
-                        try:
-                            outcome = ScenarioResult.from_dict(future.result())
-                        except (SpecValidationError, UnknownPluginError):
-                            # Plugins registered only in this process are
-                            # invisible to spawn/forkserver workers (children
-                            # re-import only the builtins); leave the scenario
-                            # for the inline pass below, which can see them.
-                            continue
-                        done[position] = outcome
-                        commit(position, outcome)
-            except concurrent.futures.process.BrokenProcessPool:
-                pass  # completed scenarios are committed; the rest run inline
-        for position, (_, spec) in enumerate(todo):
-            if position not in done:
-                outcome = run(spec)
-                done[position] = outcome
-                commit(position, outcome)
-        executed = len(done)
+        if executor == "distributed":
+            # Imported lazily: repro.distributed depends on repro.api.
+            from repro.distributed import executor as _distributed
+
+            fleet = workers if workers is not None else (jobs if jobs > 1 else 3)
+            policy = None
+            if lease_timeout is not None:
+                from repro.distributed import LeasePolicy
+
+                policy = LeasePolicy(
+                    timeout=lease_timeout, heartbeat_interval=lease_timeout / 4.0
+                )
+            done, served = _distributed.execute(
+                todo, commit, workers=fleet, db=db, policy=policy
+            )
+            # Scenarios answered by the queue's result store were paid for
+            # by an earlier run: report them as cache hits, not executions.
+            cache_hits += len(served)
+            executed = len(done) - len(served)
+        else:
+            pool_workers = workers if workers is not None else jobs
+            if executor == "pool" and pool_workers > 1 and len(todo) > 1:
+                try:
+                    with concurrent.futures.ProcessPoolExecutor(
+                        max_workers=min(pool_workers, len(todo))
+                    ) as pool:
+                        futures = {
+                            pool.submit(_execute_spec_payload, spec.to_dict()): position
+                            for position, (_, spec) in enumerate(todo)
+                        }
+                        for future in concurrent.futures.as_completed(futures):
+                            position = futures[future]
+                            try:
+                                outcome = ScenarioResult.from_dict(future.result())
+                            except (SpecValidationError, UnknownPluginError):
+                                # Plugins registered only in this process are
+                                # invisible to spawn/forkserver workers (children
+                                # re-import only the builtins); leave the scenario
+                                # for the inline pass below, which can see them.
+                                continue
+                            done[position] = outcome
+                            commit(position, outcome)
+                except concurrent.futures.process.BrokenProcessPool:
+                    pass  # completed scenarios are committed; the rest run inline
+            for position, (_, spec) in enumerate(todo):
+                if position not in done:
+                    outcome = run(spec)
+                    done[position] = outcome
+                    commit(position, outcome)
+            executed = len(done)
 
     return SweepResult(
         results=tuple(results[index] for index in range(len(specs))),
@@ -377,6 +485,23 @@ class Sweep:
     def __len__(self) -> int:
         return len(self._specs)
 
-    def run(self, *, jobs: int = 1, cache: Optional[ResultCache] = None) -> SweepResult:
+    def run(
+        self,
+        *,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        db: Optional[Union[str, Path]] = None,
+        lease_timeout: Optional[float] = None,
+    ) -> SweepResult:
         """Execute the sweep (see :func:`run_specs`)."""
-        return run_specs(self._specs, jobs=jobs, cache=cache)
+        return run_specs(
+            self._specs,
+            jobs=jobs,
+            cache=cache,
+            executor=executor,
+            workers=workers,
+            db=db,
+            lease_timeout=lease_timeout,
+        )

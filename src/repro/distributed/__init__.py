@@ -1,0 +1,56 @@
+"""Distributed sweep execution: durable queue, lease-based workers, sqlite results.
+
+This package scales :class:`repro.api.Sweep` beyond one process pool: a
+:class:`Broker` persists a content-addressed work queue of scenario
+fingerprints in a WAL-mode sqlite database, :class:`Worker` processes
+claim tasks under expiring, heartbeat-renewed leases (crashed workers
+are requeued automatically, with bounded attempts), and a
+:class:`SqliteResultStore` keeps every finished
+:class:`~repro.api.ScenarioResult` in the same database — so an
+identical re-run executes nothing at all.
+
+Most callers never touch these classes directly; they ask the sweep
+layer for the backend::
+
+    from repro.api import Sweep
+    outcome = sweep.run(executor="distributed", workers=3, db="queue.sqlite")
+
+or drive long-lived workers from the CLI::
+
+    chronos-experiments workers start --db queue.sqlite --workers 4
+    chronos-experiments sweep --spec sweep.json --executor distributed --db queue.sqlite
+    chronos-experiments workers status --db queue.sqlite
+
+The pieces are public for anyone building a custom topology (remote
+workers pointed at a shared database path, worker recycling, etc.).
+"""
+
+from repro.distributed.broker import Broker, Task, TaskFailedError, TaskRecord
+from repro.distributed.executor import default_db_path, execute
+from repro.distributed.leases import Lease, LeaseKeeper, LeasePolicy
+from repro.distributed.store import SqliteResultStore, connect
+from repro.distributed.worker import Worker, WorkerConfig, WorkerPool, make_worker_id, worker_main
+
+__all__ = [
+    # queue
+    "Broker",
+    "Task",
+    "TaskRecord",
+    "TaskFailedError",
+    # leases
+    "Lease",
+    "LeasePolicy",
+    "LeaseKeeper",
+    # workers
+    "Worker",
+    "WorkerConfig",
+    "WorkerPool",
+    "worker_main",
+    "make_worker_id",
+    # results
+    "SqliteResultStore",
+    "connect",
+    # driver
+    "execute",
+    "default_db_path",
+]

@@ -1,0 +1,406 @@
+"""The broker: a durable, lease-based work queue over sqlite.
+
+The broker owns the ``tasks`` table of a queue database (see
+:mod:`repro.distributed.store`).  Producers :meth:`enqueue` scenario
+specs (deduplicated by fingerprint — the queue is content-addressed just
+like the result store); workers :meth:`claim` one task at a time under a
+:class:`~repro.distributed.leases.LeasePolicy`, renew via
+:meth:`heartbeat`, and finish with :meth:`complete` or :meth:`fail`.
+
+Crash safety comes from leases rather than connections: a worker that
+dies mid-task simply stops heartbeating, and the next
+:meth:`requeue_expired` (run opportunistically by every idle worker and
+by the supervising parent) puts the task back on the queue.  Attempts are
+counted at claim time, so a task that keeps killing its workers is
+eventually marked ``failed`` instead of looping forever.
+
+Task lifecycle::
+
+    pending --claim--> leased --complete--> done
+       ^                  |        \\--fail--> failed
+       |                  | lease expired, attempts left
+       +------------------+        \\-- attempts exhausted --> failed
+
+Every state transition is one sqlite transaction (``BEGIN IMMEDIATE``
+where read-then-write atomicity matters), so any number of worker
+processes can share the queue without double-claiming a task.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.distributed import store as _store
+from repro.distributed.leases import Lease, LeasePolicy
+
+#: Task states, in roughly the order of the lifecycle.
+TASK_STATES = ("pending", "leased", "done", "failed")
+
+
+class TaskFailedError(RuntimeError):
+    """A queued task failed permanently; carries the recorded error."""
+
+    def __init__(self, fingerprint: str, error: str):
+        self.fingerprint = fingerprint
+        self.error = error
+        super().__init__(f"task {fingerprint} failed: {error}")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One claimed unit of work: the spec payload plus its lease."""
+
+    fingerprint: str
+    payload: Dict[str, Any]
+    attempts: int
+    lease: Lease
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """A read-only snapshot of one task row (for status and tests)."""
+
+    fingerprint: str
+    status: str
+    attempts: int
+    max_attempts: int
+    lease_owner: Optional[str]
+    lease_expires_at: Optional[float]
+    error: Optional[str]
+
+
+class Broker:
+    """Producer/consumer interface to one queue database.
+
+    Each broker instance holds one sqlite connection and is *not* thread
+    safe; create one per process (or per thread, e.g. the heartbeat
+    keeper) — they coordinate through the database.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        policy: Optional[LeasePolicy] = None,
+    ):
+        self._path = Path(path)
+        self._policy = policy if policy is not None else LeasePolicy()
+        self._conn = _store.connect(self._path)
+
+    @property
+    def path(self) -> Path:
+        """Location of the backing database file."""
+        return self._path
+
+    @property
+    def policy(self) -> LeasePolicy:
+        """The lease policy new claims are made under."""
+        return self._policy
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "Broker":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def enqueue(self, payloads: Sequence[Dict[str, Any]], fingerprints: Sequence[str]) -> int:
+        """Add spec payloads to the queue, deduplicated by fingerprint.
+
+        A fingerprint already ``pending``/``leased``/``done`` is left
+        alone; a previously ``failed`` task is reset for a fresh round of
+        attempts.  Returns how many tasks are newly runnable.
+
+        Enqueueing also clears a previous :meth:`drain` request: new work
+        means the queue is live again, so a fleet started afterwards does
+        not exit on a stale flag.
+        """
+        if len(payloads) != len(fingerprints):
+            raise ValueError("payloads and fingerprints must have equal length")
+        now = time.time()
+        added = 0
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            self._conn.execute("DELETE FROM control WHERE key = 'draining'")
+            for payload, fingerprint in zip(payloads, fingerprints):
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO tasks "
+                    "(fingerprint, payload, status, max_attempts, enqueued_at, updated_at) "
+                    "VALUES (?, ?, 'pending', ?, ?, ?)",
+                    (fingerprint, json.dumps(payload), self._policy.max_attempts, now, now),
+                )
+                if cursor.rowcount:
+                    added += 1
+                    continue
+                cursor = self._conn.execute(
+                    "UPDATE tasks SET status = 'pending', attempts = 0, lease_owner = NULL, "
+                    "lease_expires_at = NULL, error = NULL, updated_at = ? "
+                    "WHERE fingerprint = ? AND status = 'failed'",
+                    (now, fingerprint),
+                )
+                added += cursor.rowcount
+        return added
+
+    def drain(self) -> None:
+        """Ask workers to exit once no claimable work remains."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO control (key, value) VALUES ('draining', '1')"
+            )
+
+    def is_draining(self) -> bool:
+        """Whether :meth:`drain` has been requested."""
+        row = self._conn.execute("SELECT value FROM control WHERE key = 'draining'").fetchone()
+        return row is not None and row["value"] == "1"
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def claim(self, worker_id: str) -> Optional[Task]:
+        """Atomically claim the oldest pending task, or ``None`` if idle.
+
+        Expired leases are swept first, so a claim after a worker crash
+        picks the orphaned task back up without a separate janitor.
+        """
+        now = time.time()
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            self._sweep_expired_locked(now)
+            row = self._conn.execute(
+                "SELECT fingerprint, payload, attempts FROM tasks "
+                "WHERE status = 'pending' ORDER BY enqueued_at, fingerprint LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            expires_at = now + self._policy.timeout
+            self._conn.execute(
+                "UPDATE tasks SET status = 'leased', attempts = attempts + 1, "
+                "lease_owner = ?, lease_expires_at = ?, updated_at = ? WHERE fingerprint = ?",
+                (worker_id, expires_at, now, row["fingerprint"]),
+            )
+        return Task(
+            fingerprint=row["fingerprint"],
+            payload=json.loads(row["payload"]),
+            attempts=row["attempts"] + 1,
+            lease=Lease(fingerprint=row["fingerprint"], owner=worker_id, expires_at=expires_at),
+        )
+
+    def heartbeat(self, fingerprint: str, worker_id: str) -> bool:
+        """Renew a lease; returns ``False`` if the lease is no longer ours."""
+        now = time.time()
+        with self._conn:
+            cursor = self._conn.execute(
+                "UPDATE tasks SET lease_expires_at = ?, updated_at = ? "
+                "WHERE fingerprint = ? AND status = 'leased' AND lease_owner = ?",
+                (now + self._policy.timeout, now, fingerprint, worker_id),
+            )
+        self.touch_worker(worker_id)
+        return bool(cursor.rowcount)
+
+    def complete(self, fingerprint: str, worker_id: str, result_payload: Dict[str, Any]) -> None:
+        """Record a finished task: store its result and mark it done.
+
+        Results are content-addressed and scenario execution is
+        deterministic, so a completion is accepted even from a worker
+        whose lease was lost (the work is identical); the result upsert
+        keeps this idempotent.
+        """
+        now = time.time()
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (fingerprint, payload, worker_id, created_at) "
+                "VALUES (?, ?, ?, ?)",
+                (fingerprint, json.dumps(result_payload), worker_id, now),
+            )
+            self._conn.execute(
+                "UPDATE tasks SET status = 'done', lease_owner = NULL, lease_expires_at = NULL, "
+                "error = NULL, updated_at = ? WHERE fingerprint = ?",
+                (now, fingerprint),
+            )
+            self._conn.execute(
+                "UPDATE workers SET tasks_done = tasks_done + 1, last_seen_at = ? "
+                "WHERE worker_id = ?",
+                (now, worker_id),
+            )
+
+    def fail(self, fingerprint: str, worker_id: str, error: str) -> bool:
+        """Mark a task permanently failed (the scenario itself errored).
+
+        Deliberate failures are terminal: a deterministic simulation that
+        raised once will raise again, so retrying would only burn
+        attempts.  Crash recovery goes through lease expiry instead.
+
+        Guarded by lease ownership: a worker whose lease was already
+        requeued (it wedged past the timeout and someone else took over)
+        cannot clobber the task's current state — unlike :meth:`complete`,
+        a stale failure carries no reusable work.  Returns whether the
+        failure was recorded.
+        """
+        now = time.time()
+        with self._conn:
+            cursor = self._conn.execute(
+                "UPDATE tasks SET status = 'failed', lease_owner = NULL, "
+                "lease_expires_at = NULL, error = ?, updated_at = ? "
+                "WHERE fingerprint = ? AND status = 'leased' AND lease_owner = ?",
+                (str(error), now, fingerprint, worker_id),
+            )
+        return bool(cursor.rowcount)
+
+    def requeue_expired(self, now: Optional[float] = None) -> Tuple[int, int]:
+        """Sweep expired leases: requeue what has attempts left, fail the rest.
+
+        Returns ``(requeued, exhausted)`` counts.  Safe to call from any
+        process at any time; claims do this implicitly.
+        """
+        now = time.time() if now is None else now
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            return self._sweep_expired_locked(now)
+
+    def _sweep_expired_locked(self, now: float) -> Tuple[int, int]:
+        """Expire leases inside an already-open transaction."""
+        exhausted = self._conn.execute(
+            "UPDATE tasks SET status = 'failed', "
+            "error = 'lease expired after ' || attempts || ' attempts (worker crash?)', "
+            "lease_owner = NULL, lease_expires_at = NULL, updated_at = ? "
+            "WHERE status = 'leased' AND lease_expires_at < ? AND attempts >= max_attempts",
+            (now, now),
+        ).rowcount
+        requeued = self._conn.execute(
+            "UPDATE tasks SET status = 'pending', lease_owner = NULL, "
+            "lease_expires_at = NULL, updated_at = ? "
+            "WHERE status = 'leased' AND lease_expires_at < ?",
+            (now, now),
+        ).rowcount
+        return requeued, exhausted
+
+    def release_worker(self, worker_id: str) -> Tuple[int, int]:
+        """Immediately release all leases of a worker known to be dead.
+
+        The supervising parent calls this when it reaps a worker process,
+        so recovery does not have to wait out the lease timeout.  Returns
+        ``(requeued, exhausted)``.
+        """
+        now = time.time()
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            exhausted = self._conn.execute(
+                "UPDATE tasks SET status = 'failed', "
+                "error = 'worker ' || lease_owner || ' died after ' || attempts || ' attempts', "
+                "lease_owner = NULL, lease_expires_at = NULL, updated_at = ? "
+                "WHERE status = 'leased' AND lease_owner = ? AND attempts >= max_attempts",
+                (now, worker_id),
+            ).rowcount
+            requeued = self._conn.execute(
+                "UPDATE tasks SET status = 'pending', lease_owner = NULL, "
+                "lease_expires_at = NULL, updated_at = ? "
+                "WHERE status = 'leased' AND lease_owner = ?",
+                (now, worker_id),
+            ).rowcount
+        return requeued, exhausted
+
+    # ------------------------------------------------------------------
+    # Worker liveness
+    # ------------------------------------------------------------------
+    def register_worker(self, worker_id: str) -> None:
+        """Record a worker process (for ``workers status``)."""
+        now = time.time()
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO workers (worker_id, pid, started_at, last_seen_at, "
+                "tasks_done) VALUES (?, ?, ?, ?, "
+                "COALESCE((SELECT tasks_done FROM workers WHERE worker_id = ?), 0))",
+                (worker_id, os.getpid(), now, now, worker_id),
+            )
+
+    def touch_worker(self, worker_id: str) -> None:
+        """Refresh a worker's ``last_seen_at`` timestamp."""
+        with self._conn:
+            self._conn.execute(
+                "UPDATE workers SET last_seen_at = ? WHERE worker_id = ?",
+                (time.time(), worker_id),
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Task counts by state (all states present, zero-filled)."""
+        rows = self._conn.execute(
+            "SELECT status, COUNT(*) AS n FROM tasks GROUP BY status"
+        ).fetchall()
+        counts = {state: 0 for state in TASK_STATES}
+        for row in rows:
+            counts[row["status"]] = int(row["n"])
+        return counts
+
+    def settled(self) -> bool:
+        """True when nothing is pending or leased (done/failed only)."""
+        counts = self.counts()
+        return counts["pending"] == 0 and counts["leased"] == 0
+
+    def task(self, fingerprint: str) -> Optional[TaskRecord]:
+        """A snapshot of one task, or ``None`` if it was never enqueued."""
+        row = self._conn.execute(
+            "SELECT fingerprint, status, attempts, max_attempts, lease_owner, "
+            "lease_expires_at, error FROM tasks WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            return None
+        return TaskRecord(**{key: row[key] for key in row.keys()})
+
+    def tasks(self, status: Optional[str] = None) -> List[TaskRecord]:
+        """Snapshots of all tasks, optionally filtered by state."""
+        query = (
+            "SELECT fingerprint, status, attempts, max_attempts, lease_owner, "
+            "lease_expires_at, error FROM tasks"
+        )
+        params: Tuple[Any, ...] = ()
+        if status is not None:
+            query += " WHERE status = ?"
+            params = (status,)
+        query += " ORDER BY enqueued_at, fingerprint"
+        rows = self._conn.execute(query, params).fetchall()
+        return [TaskRecord(**{key: row[key] for key in row.keys()}) for row in rows]
+
+    def failed_payloads(self) -> List[Tuple[str, Dict[str, Any], str]]:
+        """``(fingerprint, payload, error)`` for every failed task."""
+        rows = self._conn.execute(
+            "SELECT fingerprint, payload, error FROM tasks WHERE status = 'failed' "
+            "ORDER BY enqueued_at, fingerprint"
+        ).fetchall()
+        return [
+            (row["fingerprint"], json.loads(row["payload"]), row["error"] or "unknown error")
+            for row in rows
+        ]
+
+    def workers(self) -> List[Dict[str, Any]]:
+        """Known workers with pid, liveness timestamps and tasks done."""
+        rows = self._conn.execute(
+            "SELECT worker_id, pid, started_at, last_seen_at, tasks_done FROM workers "
+            "ORDER BY started_at"
+        ).fetchall()
+        return [{key: row[key] for key in row.keys()} for row in rows]
+
+    def stats(self) -> Dict[str, Any]:
+        """One status dict: task counts, workers, results, drain flag."""
+        results = self._conn.execute("SELECT COUNT(*) AS n FROM results").fetchone()
+        return {
+            "path": str(self._path),
+            "tasks": self.counts(),
+            "results": int(results["n"]),
+            "workers": self.workers(),
+            "draining": self.is_draining(),
+        }

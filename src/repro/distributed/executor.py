@@ -1,0 +1,163 @@
+"""The distributed sweep driver: enqueue, supervise, collect.
+
+:func:`execute` is the backend behind ``run_specs(...,
+executor="distributed")``.  It enqueues the uncached scenarios on a
+broker database, spins up a :class:`~repro.distributed.worker.WorkerPool`
+and supervises the run: sweeping expired leases, fast-releasing the
+leases of workers the parent reaps, and — if every worker dies — falling
+back to executing the remainder inline so a sweep never deadlocks on an
+empty pool.  Results come back from the shared
+:class:`~repro.distributed.store.SqliteResultStore` table, which also
+makes an identical re-run a pure store read with zero executions.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.api.facade import ScenarioResult, run
+from repro.api.spec import ScenarioSpec
+from repro.distributed.broker import Broker, TaskFailedError
+from repro.distributed.leases import LeasePolicy
+from repro.distributed.store import SqliteResultStore
+from repro.distributed.worker import WorkerConfig, WorkerPool
+
+#: Seconds between supervision passes while workers run.
+SUPERVISE_INTERVAL = 0.05
+
+
+def default_db_path() -> Path:
+    """A fresh throwaway queue database (per-call temp directory)."""
+    return Path(tempfile.mkdtemp(prefix="chronos-queue-")) / "queue.sqlite"
+
+
+def execute(
+    todo: Sequence[Tuple[str, ScenarioSpec]],
+    commit: Callable[[int, ScenarioResult], None],
+    *,
+    workers: int = 3,
+    db: Optional[Union[str, Path]] = None,
+    policy: Optional[LeasePolicy] = None,
+) -> Tuple[Dict[int, ScenarioResult], Set[int]]:
+    """Run ``(fingerprint, spec)`` pairs across a pool of worker processes.
+
+    ``commit(position, result)`` is called once per finished scenario, in
+    completion order.  Returns the results by position plus the set of
+    positions answered straight from the result store (work a previous
+    run already paid for — the caller reports those as cache hits, not
+    executions).
+
+    Tasks whose workers crash are requeued by lease expiry (or
+    immediately, when the parent reaps the dead process) with bounded
+    attempts; tasks that *fail* (the scenario itself raised) are retried
+    once inline in the parent — which also covers plugins registered only
+    in the parent process under ``spawn`` start methods — and raise
+    :class:`TaskFailedError` only if the inline retry fails too.
+    """
+    throwaway = db is None
+    db_path = Path(db) if db is not None else default_db_path()
+    policy = policy if policy is not None else LeasePolicy()
+    broker = Broker(db_path, policy=policy)
+    store = SqliteResultStore(db_path)
+    done: Dict[int, ScenarioResult] = {}
+    served_from_store: Set[int] = set()
+    try:
+        pending: List[Tuple[int, str, ScenarioSpec]] = []
+        for position, (fingerprint, spec) in enumerate(todo):
+            stored = store.get(fingerprint)
+            if stored is not None:
+                done[position] = stored
+                served_from_store.add(position)
+                commit(position, stored)
+            else:
+                pending.append((position, fingerprint, spec))
+        if not pending:
+            return done, served_from_store
+
+        broker.enqueue(
+            [spec.to_dict() for _, _, spec in pending],
+            [fingerprint for _, fingerprint, _ in pending],
+        )
+        position_of = {fingerprint: position for position, fingerprint, _ in pending}
+
+        config = WorkerConfig(policy=policy, exit_when_idle=True)
+        pool = WorkerPool(db_path, workers=min(workers, len(pending)), config=config)
+        collected: Set[str] = set()
+
+        def collect_new() -> None:
+            """Commit results that appeared in the store since last pass.
+
+            One batched fingerprint query per pass (rather than a point
+            read per outstanding scenario) keeps supervision O(done) even
+            for sweeps of thousands of scenarios.
+            """
+            fresh = (store.fingerprints() & position_of.keys()) - collected
+            for fingerprint in fresh:
+                result = store.get(fingerprint)
+                if result is not None:
+                    position = position_of[fingerprint]
+                    collected.add(fingerprint)
+                    done[position] = result
+                    commit(position, result)
+
+        with pool:
+            while not broker.settled():
+                broker.requeue_expired()
+                pool.reap(broker)
+                collect_new()
+                if pool.alive_count() == 0 and not broker.settled():
+                    # Pool wiped out (or workers exited early): finish the
+                    # remaining queue inline so the sweep still completes.
+                    _drain_inline(broker)
+                    break
+                time.sleep(SUPERVISE_INTERVAL)
+            pool.join(timeout=policy.timeout)
+        collect_new()
+
+        # Failed tasks get one inline retry in the parent: it sees plugins
+        # the workers may not (spawn start method), and a genuine scenario
+        # error will raise here exactly like the inline executor does.
+        for fingerprint, payload, error in broker.failed_payloads():
+            position = position_of.get(fingerprint)
+            if position is None or fingerprint in collected:
+                continue
+            try:
+                result = run(ScenarioSpec.from_dict(payload))
+            except Exception as retry_error:
+                raise TaskFailedError(fingerprint, f"{error}; inline retry: {retry_error}") from retry_error
+            broker.complete(fingerprint, "parent-inline", result.to_dict())
+            collected.add(fingerprint)
+            done[position] = result
+            commit(position, result)
+        return done, served_from_store
+    finally:
+        store.close()
+        broker.close()
+        if throwaway:
+            # We minted the temp queue; its durability has no value past
+            # this call, so do not litter the temp dir with WAL files.
+            shutil.rmtree(db_path.parent, ignore_errors=True)
+
+
+def _drain_inline(broker: Broker) -> None:
+    """Claim-and-run the remaining queue in the current process."""
+    worker_id = "parent-inline"
+    broker.register_worker(worker_id)
+    while True:
+        task = broker.claim(worker_id)
+        if task is None:
+            if broker.settled():
+                return
+            # Only expired-in-the-future leases remain; wait them out.
+            time.sleep(SUPERVISE_INTERVAL)
+            continue
+        try:
+            result = run(ScenarioSpec.from_dict(task.payload))
+        except Exception as error:
+            broker.fail(task.fingerprint, worker_id, f"{type(error).__name__}: {error}")
+            continue
+        broker.complete(task.fingerprint, worker_id, result.to_dict())

@@ -1,0 +1,159 @@
+"""Sqlite persistence layer of the distributed sweep subsystem.
+
+One database file holds everything a distributed run needs: the durable
+task queue (``tasks``), the content-addressed result store (``results``),
+worker liveness records (``workers``) and a tiny ``control`` key/value
+table (used by ``drain``).  The file is opened in WAL mode so one writer
+and many readers — broker, workers and the supervising parent — can share
+it without blocking each other.
+
+:class:`SqliteResultStore` is the piece visible outside this package: a
+drop-in replacement for :class:`repro.api.ResultCache` (same ``get`` /
+``put`` / ``clear`` / ``in`` / ``len`` surface) that keeps every scenario
+result as one row instead of one JSON file per fingerprint, so sweeps of
+thousands of scenarios do not degenerate into directory scans.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.api.facade import ScenarioResult
+
+#: Milliseconds a connection waits on a locked database before failing.
+BUSY_TIMEOUT_MS = 10_000
+
+SCHEMA = """
+CREATE TABLE IF NOT EXISTS tasks (
+    fingerprint     TEXT PRIMARY KEY,
+    payload         TEXT NOT NULL,
+    status          TEXT NOT NULL DEFAULT 'pending',
+    attempts        INTEGER NOT NULL DEFAULT 0,
+    max_attempts    INTEGER NOT NULL DEFAULT 3,
+    lease_owner     TEXT,
+    lease_expires_at REAL,
+    error           TEXT,
+    enqueued_at     REAL NOT NULL,
+    updated_at      REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_tasks_status ON tasks(status, enqueued_at);
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT PRIMARY KEY,
+    payload     TEXT NOT NULL,
+    worker_id   TEXT,
+    created_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS workers (
+    worker_id    TEXT PRIMARY KEY,
+    pid          INTEGER,
+    started_at   REAL NOT NULL,
+    last_seen_at REAL NOT NULL,
+    tasks_done   INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS control (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+def connect(path: Union[str, Path]) -> sqlite3.Connection:
+    """Open (creating if needed) a queue database in WAL mode.
+
+    Every process — broker, worker, heartbeat thread — gets its own
+    connection; sqlite's WAL journal plus a generous busy timeout does the
+    cross-process coordination.
+    """
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    # Autocommit mode: transactions are opened explicitly (BEGIN IMMEDIATE)
+    # where read-then-write atomicity matters, instead of relying on
+    # pysqlite's implicit transaction sniffing.
+    conn = sqlite3.connect(str(path), timeout=BUSY_TIMEOUT_MS / 1000.0, isolation_level=None)
+    conn.row_factory = sqlite3.Row
+    conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+    conn.execute("PRAGMA journal_mode = WAL")
+    conn.execute("PRAGMA synchronous = NORMAL")
+    conn.executescript(SCHEMA)
+    conn.commit()
+    return conn
+
+
+class SqliteResultStore:
+    """Fingerprint-keyed scenario results in one sqlite database.
+
+    Implements the same protocol as :class:`repro.api.ResultCache`, so it
+    can be passed anywhere a cache is accepted (``run_specs(...,
+    cache=SqliteResultStore("queue.sqlite"))``).  Rows are written inside
+    a transaction (no partially-written JSON, unlike a naive file-per-
+    fingerprint layout) and shared with the broker's queue tables, which
+    is what lets a re-run of a distributed sweep answer every scenario
+    without executing anything.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self._path = Path(path)
+        self._conn = connect(self._path)
+        self._memory: Dict[str, ScenarioResult] = {}
+
+    @property
+    def path(self) -> Path:
+        """Location of the backing database file."""
+        return self._path
+
+    def get(self, fingerprint: str) -> Optional[ScenarioResult]:
+        """The stored result for a fingerprint, or ``None`` on a miss."""
+        if fingerprint in self._memory:
+            return self._memory[fingerprint]
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            result = ScenarioResult.from_dict(json.loads(row["payload"]))
+        except (ValueError, TypeError, KeyError):
+            return None  # corrupt row: treat as a miss, like ResultCache
+        self._memory[fingerprint] = result
+        return result
+
+    def put(self, result: ScenarioResult, worker_id: Optional[str] = None) -> None:
+        """Store a result under its fingerprint (idempotent upsert)."""
+        self._memory[result.fingerprint] = result
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results (fingerprint, payload, worker_id, created_at) "
+            "VALUES (?, ?, ?, ?)",
+            (result.fingerprint, json.dumps(result.to_dict()), worker_id, time.time()),
+        )
+        self._conn.commit()
+
+    def fingerprints(self) -> set:
+        """All stored fingerprints in one query (cheap presence check)."""
+        rows = self._conn.execute("SELECT fingerprint FROM results").fetchall()
+        return {row["fingerprint"] for row in rows}
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (database rows are left alone)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) AS n FROM results").fetchone()
+        return int(row["n"])
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return isinstance(fingerprint, str) and self.get(fingerprint) is not None
+
+    def close(self) -> None:
+        """Close the underlying connection (further calls will fail)."""
+        self._conn.close()
+
+    def __enter__(self) -> "SqliteResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,251 @@
+"""Worker processes that execute queued scenarios.
+
+A :class:`Worker` repeatedly claims a task from the broker, rebuilds the
+:class:`~repro.api.spec.ScenarioSpec` from the stored payload, runs it
+through the :func:`repro.api.run` façade and writes the result back —
+all while a :class:`~repro.distributed.leases.LeaseKeeper` thread renews
+its lease so slow scenarios are not mistaken for crashes.
+
+``worker_main`` is the process entry point (importable at module top
+level, so it works under both ``fork`` and ``spawn`` start methods), and
+:class:`WorkerPool` spawns and supervises N such processes from a parent
+— the shape the sweep executor and the ``chronos-experiments workers``
+CLI both use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.api.facade import run
+from repro.api.spec import ScenarioSpec
+from repro.distributed.broker import Broker, Task
+from repro.distributed.leases import LeaseKeeper, LeasePolicy
+
+
+def make_worker_id(prefix: str = "worker") -> str:
+    """A unique worker identity: ``prefix-<pid>-<random>``."""
+    return f"{prefix}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Behavioural knobs of a worker loop.
+
+    Parameters
+    ----------
+    policy:
+        Lease timing and retry limits (shared with the broker).
+    poll_interval:
+        Seconds to sleep when a claim comes back empty.
+    exit_when_idle:
+        Exit once the queue is settled (nothing pending *or* leased) —
+        the mode the sweep executor uses.  When ``False`` the worker
+        polls forever (service mode) until the queue is drained.
+    max_tasks:
+        Optional cap on tasks executed before exiting (useful in tests
+        and for worker recycling).
+    """
+
+    policy: LeasePolicy = field(default_factory=LeasePolicy)
+    poll_interval: float = 0.05
+    exit_when_idle: bool = True
+    max_tasks: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON/pickle-friendly representation (crosses the spawn boundary)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkerConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        payload = dict(data)
+        policy = payload.pop("policy", None)
+        if isinstance(policy, Mapping):
+            payload["policy"] = LeasePolicy(**dict(policy))
+        return cls(**payload)
+
+
+class Worker:
+    """One claim-execute-commit loop bound to a queue database."""
+
+    def __init__(
+        self,
+        db_path: Union[str, Path],
+        worker_id: Optional[str] = None,
+        config: Optional[WorkerConfig] = None,
+    ):
+        self.worker_id = worker_id or make_worker_id()
+        self.config = config if config is not None else WorkerConfig()
+        self._db_path = Path(db_path)
+        self._broker = Broker(self._db_path, policy=self.config.policy)
+        # Lazily-created second broker used only by the heartbeat thread
+        # (Broker instances are not thread safe); one long-lived
+        # connection rather than a fresh one per task.
+        self._keeper_broker: Optional[Broker] = None
+        self.tasks_done = 0
+
+    def run(self) -> int:
+        """Process tasks until the exit condition; returns tasks executed.
+
+        Exit conditions: the queue settles (``exit_when_idle``), the
+        queue is draining and has no claimable work, or ``max_tasks`` is
+        reached.
+        """
+        self._broker.register_worker(self.worker_id)
+        while True:
+            if self.config.max_tasks is not None and self.tasks_done >= self.config.max_tasks:
+                return self.tasks_done
+            task = self._broker.claim(self.worker_id)
+            if task is None:
+                if self._broker.is_draining() or (
+                    self.config.exit_when_idle and self._broker.settled()
+                ):
+                    return self.tasks_done
+                self._broker.touch_worker(self.worker_id)
+                time.sleep(self.config.poll_interval)
+                continue
+            self._execute(task)
+
+    def _execute(self, task: Task) -> None:
+        """Run one claimed scenario under a heartbeating lease."""
+        if self._keeper_broker is None:
+            self._keeper_broker = Broker(self._db_path, policy=self.config.policy)
+        keeper_broker = self._keeper_broker
+        keeper = LeaseKeeper(
+            renew=lambda: keeper_broker.heartbeat(task.fingerprint, self.worker_id),
+            interval=self.config.policy.heartbeat_interval,
+        )
+        try:
+            with keeper:
+                try:
+                    result = run(ScenarioSpec.from_dict(task.payload))
+                except Exception as error:  # scenario errors are terminal, not retried
+                    self._broker.fail(task.fingerprint, self.worker_id, f"{type(error).__name__}: {error}")
+                    return
+            # Execution is deterministic, so the result is committed even
+            # if the lease was lost mid-run (the upsert is idempotent and
+            # whoever re-claimed the task will produce the same bytes).
+            self._broker.complete(task.fingerprint, self.worker_id, result.to_dict())
+            self.tasks_done += 1
+        finally:
+            keeper.stop()
+
+    def close(self) -> None:
+        """Release the worker's database connections."""
+        self._broker.close()
+        if self._keeper_broker is not None:
+            self._keeper_broker.close()
+            self._keeper_broker = None
+
+
+def worker_main(
+    db_path: str,
+    worker_id: Optional[str] = None,
+    config: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Process entry point: run one worker to completion.
+
+    ``config`` is a :meth:`WorkerConfig.to_dict` payload so the argument
+    list stays picklable under the ``spawn`` start method.
+    """
+    worker = Worker(
+        db_path,
+        worker_id=worker_id,
+        config=WorkerConfig.from_dict(config) if config is not None else None,
+    )
+    try:
+        worker.run()
+    finally:
+        worker.close()
+
+
+class WorkerPool:
+    """N worker processes sharing one queue database.
+
+    The pool only starts and reaps processes; all work coordination goes
+    through the broker.  When the parent reaps a dead worker it releases
+    that worker's leases immediately (crash fast-path) instead of waiting
+    out the lease timeout — workers that died *without* a supervising
+    parent are still recovered by lease expiry.
+    """
+
+    def __init__(
+        self,
+        db_path: Union[str, Path],
+        workers: int,
+        config: Optional[WorkerConfig] = None,
+        id_prefix: str = "worker",
+    ):
+        if workers < 1:
+            raise ValueError("workers must be a positive integer")
+        self._db_path = Path(db_path)
+        self._config = config if config is not None else WorkerConfig()
+        self._context = multiprocessing.get_context()
+        self._id_prefix = id_prefix
+        self.worker_ids = [f"{id_prefix}-{uuid.uuid4().hex[:8]}" for _ in range(workers)]
+        self._processes: Dict[str, multiprocessing.process.BaseProcess] = {}
+        self._reaped: set = set()
+
+    def start(self) -> "WorkerPool":
+        """Spawn all worker processes (idempotent)."""
+        for worker_id in self.worker_ids:
+            if worker_id not in self._processes:
+                self._processes[worker_id] = self._spawn(worker_id)
+        return self
+
+    def _spawn(self, worker_id: str) -> multiprocessing.process.BaseProcess:
+        process = self._context.Process(
+            target=worker_main,
+            args=(str(self._db_path), worker_id, self._config.to_dict()),
+            name=worker_id,
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    @property
+    def processes(self) -> List[multiprocessing.process.BaseProcess]:
+        """The managed processes, in worker order."""
+        return [self._processes[worker_id] for worker_id in self.worker_ids]
+
+    def alive_count(self) -> int:
+        """How many workers are currently running."""
+        return sum(1 for process in self._processes.values() if process.is_alive())
+
+    def reap(self, broker: Broker) -> List[str]:
+        """Release leases of newly-dead workers; returns their ids."""
+        newly_dead = []
+        for worker_id, process in self._processes.items():
+            if worker_id not in self._reaped and not process.is_alive():
+                self._reaped.add(worker_id)
+                broker.release_worker(worker_id)
+                newly_dead.append(worker_id)
+        return newly_dead
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for all workers to exit."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for process in self._processes.values():
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            process.join(remaining)
+
+    def terminate(self) -> None:
+        """Forcibly stop every worker still running."""
+        for process in self._processes.values():
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes.values():
+            process.join(timeout=5.0)
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.terminate()

@@ -6,6 +6,11 @@ Installed as ``chronos-experiments``.  Examples::
     chronos-experiments figure2 --scale smoke --jobs 4
     chronos-experiments all --scale small --seed 1
     chronos-experiments sweep --spec sweep.json --jobs 4 --cache-dir .cache
+    chronos-experiments sweep --spec sweep.json --executor distributed \
+        --workers 3 --db queue.sqlite
+    chronos-experiments workers start --db queue.sqlite --workers 4
+    chronos-experiments workers status --db queue.sqlite
+    chronos-experiments workers drain --db queue.sqlite
 
 The ``sweep`` command runs a declarative scenario sweep from a JSON file
 of the form::
@@ -21,6 +26,12 @@ of the form::
 dotted override paths to value lists (cartesian product), and an optional
 ``overrides`` list of mappings can be given instead of (or in addition
 to) ``grid``.
+
+The ``workers`` command manages a fleet of distributed sweep workers
+attached to a queue database (see :mod:`repro.distributed`): ``start``
+spawns worker processes that claim queued scenarios under crash-safe
+leases, ``status`` prints queue/worker state, and ``drain`` asks running
+workers to exit once no claimable work remains.
 """
 
 from __future__ import annotations
@@ -32,7 +43,14 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.api import ResultCache, ScenarioSpec, SpecValidationError, Sweep
+from repro.api import (
+    EXECUTORS,
+    ResultCache,
+    ScenarioSpec,
+    SpecValidationError,
+    Sweep,
+    set_default_executor,
+)
 from repro.experiments.common import ExperimentScale, ExperimentTable
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
@@ -91,7 +109,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=["all"],
         help=(
             "experiment names (figure2, table1, table2, figure3, figure4, figure5), "
-            "'all', or 'sweep' to run a scenario sweep from --spec"
+            "'all', 'sweep' to run a scenario sweep from --spec, or "
+            "'workers start|status|drain' to manage distributed sweep workers"
         ),
     )
     parser.add_argument(
@@ -119,6 +138,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv",
         action="store_true",
         help="emit sweep results as CSV instead of an aligned table",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=list(EXECUTORS),
+        help=(
+            "sweep backend: inline, pool, or distributed (sqlite queue + worker "
+            "processes); applies to 'sweep' and to the experiment harnesses"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        help="worker processes for the distributed executor / 'workers start' (default: 3)",
+    )
+    parser.add_argument(
+        "--db",
+        help=(
+            "queue database path for the distributed executor and the 'workers' "
+            "command; omitting it gives 'sweep' a throwaway per-run queue"
+        ),
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a worker's task lease survives without a heartbeat (default: 30)",
+    )
+    parser.add_argument(
+        "--exit-when-idle",
+        action="store_true",
+        help="make 'workers start' exit once the queue settles instead of polling forever",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     return parser
@@ -171,9 +221,92 @@ def run_sweep_command(args: argparse.Namespace) -> int:
         print(f"{path}: {error}", file=sys.stderr)
         return 2
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    result = sweep.run(jobs=max(1, args.jobs), cache=cache)
+    result = sweep.run(
+        jobs=max(1, args.jobs),
+        cache=cache,
+        executor=args.executor,
+        workers=args.workers,
+        db=args.db,
+        lease_timeout=args.lease_timeout if args.executor == "distributed" else None,
+    )
     print(result.to_csv() if args.csv else result.to_text())
     return 0
+
+
+def run_workers_command(args: argparse.Namespace) -> int:
+    """Handle ``chronos-experiments workers start|status|drain --db FILE``."""
+    from repro.distributed import Broker, LeasePolicy, WorkerConfig, WorkerPool
+
+    actions = ("start", "status", "drain")
+    action = args.experiments[1] if len(args.experiments) > 1 else None
+    if action not in actions:
+        print(
+            f"workers requires an action: {', '.join(actions)} "
+            "(e.g. 'chronos-experiments workers status --db queue.sqlite')",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.db:
+        print("workers requires --db FILE (the queue database)", file=sys.stderr)
+        return 2
+    policy = LeasePolicy(
+        timeout=args.lease_timeout, heartbeat_interval=args.lease_timeout / 4.0
+    )
+    broker = Broker(args.db, policy=policy)
+    try:
+        if action == "drain":
+            broker.drain()
+            counts = broker.counts()
+            print(
+                f"draining {args.db}: workers will exit once the "
+                f"{counts['pending']} pending task(s) are picked up"
+            )
+            return 0
+        if action == "status":
+            print(format_worker_status(broker.stats()))
+            return 0
+        # start: run a worker fleet in the foreground until the queue is
+        # drained (or settles, with --exit-when-idle), then report.
+        fleet = max(1, args.workers if args.workers is not None else 3)
+        config = WorkerConfig(policy=policy, exit_when_idle=args.exit_when_idle)
+        pool = WorkerPool(args.db, workers=fleet, config=config)
+        print(f"starting {fleet} worker(s) on {args.db} (ctrl-c to stop)")
+        try:
+            with pool:
+                while pool.alive_count() > 0:
+                    pool.reap(broker)
+                    time.sleep(0.2)
+                pool.join()
+        except KeyboardInterrupt:
+            print("stopping workers", file=sys.stderr)
+        print(format_worker_status(broker.stats()))
+        return 0
+    finally:
+        broker.close()
+
+
+def format_worker_status(stats: Dict[str, object]) -> str:
+    """Render :meth:`repro.distributed.Broker.stats` as readable text."""
+    tasks = stats["tasks"]
+    lines = [
+        f"queue: {stats['path']}",
+        "tasks: " + "  ".join(f"{state}={count}" for state, count in tasks.items()),
+        f"results: {stats['results']}",
+        f"draining: {'yes' if stats['draining'] else 'no'}",
+    ]
+    workers = stats["workers"]
+    if workers:
+        lines.append("workers:")
+        now = time.time()
+        for worker in workers:
+            age = max(0.0, now - worker["last_seen_at"])
+            lines.append(
+                f"  {worker['worker_id']}  pid={worker['pid']}  "
+                f"last_seen={age:.1f}s ago  tasks_done={worker['tasks_done']}"
+            )
+    else:
+        lines.append("workers: none registered")
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -186,15 +319,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.experiments and args.experiments[0] == "sweep":
         return run_sweep_command(args)
+    if args.experiments and args.experiments[0] == "workers":
+        return run_workers_command(args)
     scale = ExperimentScale(args.scale)
     started = time.time()
     try:
+        if args.executor:
+            # Reroute every run_specs call in the harnesses without
+            # threading a parameter through each experiment.
+            set_default_executor(args.executor, workers=args.workers, db=args.db)
         tables = run_experiments(
             args.experiments, scale=scale, seed=args.seed, jobs=max(1, args.jobs)
         )
     except UnknownExperimentError as error:
         print(error, file=sys.stderr)
         return 2
+    finally:
+        if args.executor:
+            # main() may run in-process (tests, embedding callers): do not
+            # leak the default onto unrelated later run_specs calls.
+            set_default_executor(None)
     for table in tables:
         print(table.to_text())
         print()

@@ -161,6 +161,7 @@ def run_strategy_suite(
     seed: int = 0,
     per_strategy_params: Optional[Mapping[StrategyName, StrategyParameters]] = None,
     parallel_jobs: int = 1,
+    executor: Optional[str] = None,
 ) -> Dict[StrategyName, SimulationReport]:
     """Simulate the same jobs under several strategies via the façade.
 
@@ -168,7 +169,12 @@ def run_strategy_suite(
     strategies (Tables I/II give Clone a different ``tau_est`` than the
     speculative strategies).  ``parallel_jobs > 1`` fans the per-strategy
     simulations out over a process pool (each strategy's run is
-    independent: fresh engine, same seed).
+    independent: fresh engine, same seed).  ``executor`` picks the sweep
+    backend explicitly (``"inline"``/``"pool"``/``"distributed"``); when
+    ``None``, the process-wide default set by
+    :func:`repro.api.set_default_executor` applies — which is how
+    ``chronos-experiments --executor distributed`` reroutes every harness
+    without changing any of them.
     """
     names = list(strategy_names)
     specs = suite_specs(
@@ -180,7 +186,7 @@ def run_strategy_suite(
         seed=seed,
         per_strategy_params=per_strategy_params,
     )
-    sweep = run_specs(specs, jobs=parallel_jobs)
+    sweep = run_specs(specs, jobs=parallel_jobs, executor=executor)
     return {name: result.report for name, result in zip(names, sweep.results)}
 
 

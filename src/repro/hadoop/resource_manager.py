@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque
 
 from repro.hadoop.config import HadoopConfig
 from repro.simulator.cluster import Cluster, Container

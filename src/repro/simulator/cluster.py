@@ -13,7 +13,7 @@ studied — every allocation then succeeds immediately on a virtual node.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 

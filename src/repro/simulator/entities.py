@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 

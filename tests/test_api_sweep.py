@@ -176,6 +176,45 @@ class TestCaching:
         retry = run_specs([good], cache=cache)
         assert retry.executed == 0 and retry.cache_hits == 1
 
+    def test_concurrent_writers_never_expose_partial_json(self, base, tmp_path):
+        """Same-fingerprint writers must not interleave partial JSON.
+
+        ``put`` writes a temp file and atomically renames it, so once a
+        fingerprint's file exists, readers can never observe a truncated
+        in-progress write (which ``get`` would report as a miss).
+        """
+        import threading
+
+        directory = tmp_path / "cache"
+        result = run_specs([base]).results[0]
+        ResultCache(directory).put(result)  # fully present before the storm
+        fingerprint = base.fingerprint()
+        stop = threading.Event()
+        misses = []
+
+        def reader():
+            while not stop.is_set():
+                # a fresh cache per read: no in-memory layer, disk only
+                if ResultCache(directory).get(fingerprint) is None:
+                    misses.append(1)
+
+        def writer():
+            cache = ResultCache(directory)
+            for _ in range(100):
+                cache.put(result)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not misses
+        assert list(directory.glob("*.tmp")) == []  # no temp-file litter
+
     def test_cache_contains_and_len(self, base):
         cache = ResultCache()
         assert base.fingerprint() not in cache

@@ -1,0 +1,309 @@
+"""Unit tests for the distributed queue: broker, leases, store, worker loop."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import ScenarioSpec, WorkloadSpec, job_spec_to_dict, run
+from repro.distributed import (
+    Broker,
+    LeaseKeeper,
+    LeasePolicy,
+    SqliteResultStore,
+    Worker,
+    WorkerConfig,
+)
+from repro.simulator.entities import JobSpec
+
+#: Fast lease timings so expiry tests take fractions of a second.
+FAST = LeasePolicy(timeout=0.4, heartbeat_interval=0.1, max_attempts=3)
+
+
+def _tiny_spec(seed: int = 0) -> ScenarioSpec:
+    jobs = [
+        JobSpec(job_id=f"j{i}", num_tasks=3, deadline=90.0, tmin=15.0, beta=1.5, submit_time=2.0 * i)
+        for i in range(3)
+    ]
+    return ScenarioSpec(
+        workload=WorkloadSpec("explicit", {"jobs": [job_spec_to_dict(j) for j in jobs]}),
+        strategy="s-resume",
+        strategy_params={"tau_est": 30.0, "tau_kill": 60.0, "fixed_r": 1},
+        cluster={"num_nodes": 0},
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def db(tmp_path):
+    return tmp_path / "queue.sqlite"
+
+
+@pytest.fixture
+def broker(db):
+    with Broker(db, policy=FAST) as broker:
+        yield broker
+
+
+def _enqueue(broker, specs):
+    return broker.enqueue([s.to_dict() for s in specs], [s.fingerprint() for s in specs])
+
+
+class TestLeasePolicy:
+    def test_rejects_bad_timings(self):
+        with pytest.raises(ValueError):
+            LeasePolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            LeasePolicy(timeout=1.0, heartbeat_interval=1.0)  # beat must be shorter
+        with pytest.raises(ValueError):
+            LeasePolicy(max_attempts=0)
+
+    def test_lease_expiry_predicate(self):
+        from repro.distributed import Lease
+
+        lease = Lease(fingerprint="f", owner="w", expires_at=100.0)
+        assert not lease.expired(99.9)
+        assert lease.expired(100.0)
+
+
+class TestBrokerLifecycle:
+    def test_enqueue_deduplicates_by_fingerprint(self, broker):
+        spec = _tiny_spec()
+        assert _enqueue(broker, [spec]) == 1
+        assert _enqueue(broker, [spec]) == 0
+        assert broker.counts()["pending"] == 1
+
+    def test_claim_execute_complete(self, broker):
+        spec = _tiny_spec()
+        _enqueue(broker, [spec])
+        task = broker.claim("w1")
+        assert task is not None
+        assert task.fingerprint == spec.fingerprint()
+        assert task.attempts == 1
+        assert broker.counts()["leased"] == 1
+        assert broker.claim("w2") is None  # no double-claim
+
+        result = run(ScenarioSpec.from_dict(task.payload))
+        broker.complete(task.fingerprint, "w1", result.to_dict())
+        assert broker.counts()["done"] == 1
+        assert broker.settled()
+
+        store = SqliteResultStore(broker.path)
+        fetched = store.get(spec.fingerprint())
+        assert fetched is not None and fetched.report == result.report
+        store.close()
+
+    def test_claims_are_fifo(self, broker):
+        first, second = _tiny_spec(seed=1), _tiny_spec(seed=2)
+        _enqueue(broker, [first])
+        _enqueue(broker, [second])
+        assert broker.claim("w").fingerprint == first.fingerprint()
+        assert broker.claim("w").fingerprint == second.fingerprint()
+
+    def test_heartbeat_extends_only_own_lease(self, broker):
+        spec = _tiny_spec()
+        _enqueue(broker, [spec])
+        task = broker.claim("w1")
+        assert broker.heartbeat(task.fingerprint, "w1") is True
+        assert broker.heartbeat(task.fingerprint, "intruder") is False
+
+    def test_fail_is_terminal_and_reenqueue_resets(self, broker):
+        spec = _tiny_spec()
+        _enqueue(broker, [spec])
+        task = broker.claim("w1")
+        broker.fail(task.fingerprint, "w1", "boom")
+        record = broker.task(task.fingerprint)
+        assert record.status == "failed" and record.error == "boom"
+        assert broker.claim("w2") is None  # failed tasks are not claimable
+        # re-enqueueing a failed fingerprint gives it a fresh round
+        assert _enqueue(broker, [spec]) == 1
+        assert broker.task(task.fingerprint).status == "pending"
+        assert broker.task(task.fingerprint).attempts == 0
+
+    def test_stale_fail_cannot_clobber_done(self, broker):
+        """A worker that lost its lease cannot flip a completed task to failed."""
+        spec = _tiny_spec()
+        _enqueue(broker, [spec])
+        stale = broker.claim("wedged")
+        time.sleep(FAST.timeout + 0.05)
+        rescued = broker.claim("healthy")  # sweeps the expired lease and re-claims
+        result = run(ScenarioSpec.from_dict(rescued.payload))
+        broker.complete(rescued.fingerprint, "healthy", result.to_dict())
+        # the wedged worker resurfaces and reports a failure for its old lease
+        assert broker.fail(stale.fingerprint, "wedged", "MemoryError: boom") is False
+        assert broker.task(spec.fingerprint()).status == "done"
+
+    def test_drain_flag_round_trip(self, broker):
+        assert not broker.is_draining()
+        broker.drain()
+        assert broker.is_draining()
+
+    def test_enqueue_clears_stale_drain_flag(self, broker):
+        """New work revives a drained queue; a later fleet must not exit on it."""
+        broker.drain()
+        _enqueue(broker, [_tiny_spec()])
+        assert not broker.is_draining()
+
+
+class TestLeaseExpiry:
+    def test_expired_lease_requeues_with_attempt_counted(self, broker):
+        """A claimed task whose worker never heartbeats goes back on the queue."""
+        spec = _tiny_spec()
+        _enqueue(broker, [spec])
+        task = broker.claim("zombie")
+        assert broker.claim("w2") is None  # lease still live
+        time.sleep(FAST.timeout + 0.05)
+        requeued, exhausted = broker.requeue_expired()
+        assert (requeued, exhausted) == (1, 0)
+        reclaimed = broker.claim("w2")
+        assert reclaimed is not None
+        assert reclaimed.fingerprint == task.fingerprint
+        assert reclaimed.attempts == 2
+
+    def test_claim_sweeps_expired_leases_implicitly(self, broker):
+        spec = _tiny_spec()
+        _enqueue(broker, [spec])
+        broker.claim("zombie")
+        time.sleep(FAST.timeout + 0.05)
+        # no explicit requeue_expired(): the claim itself recovers the task
+        assert broker.claim("w2") is not None
+
+    def test_attempts_are_bounded(self, broker):
+        spec = _tiny_spec()
+        _enqueue(broker, [spec])
+        for attempt in range(FAST.max_attempts):
+            task = broker.claim(f"zombie-{attempt}")
+            assert task is not None and task.attempts == attempt + 1
+            time.sleep(FAST.timeout + 0.05)
+            broker.requeue_expired()
+        record = broker.task(spec.fingerprint())
+        assert record.status == "failed"
+        assert "lease expired" in record.error
+        assert broker.claim("w-next") is None
+
+    def test_release_worker_is_an_immediate_requeue(self, broker):
+        spec = _tiny_spec()
+        _enqueue(broker, [spec])
+        broker.claim("doomed")
+        requeued, exhausted = broker.release_worker("doomed")
+        assert (requeued, exhausted) == (1, 0)
+        assert broker.task(spec.fingerprint()).status == "pending"
+
+
+class TestLeaseKeeper:
+    def test_keeper_renews_until_stopped(self):
+        beats = []
+        with LeaseKeeper(renew=lambda: beats.append(1) or True, interval=0.02) as keeper:
+            time.sleep(0.15)
+        assert len(beats) >= 3
+        assert not keeper.lost
+
+    def test_keeper_flags_lost_lease_and_stops(self):
+        beats = []
+        keeper = LeaseKeeper(renew=lambda: beats.append(1) or False, interval=0.02).start()
+        time.sleep(0.15)
+        keeper.stop()
+        assert keeper.lost
+        assert len(beats) == 1  # stopped beating after the loss
+
+
+class TestSqliteResultStore:
+    def test_put_get_round_trip(self, db):
+        spec = _tiny_spec()
+        result = run(spec)
+        with SqliteResultStore(db) as store:
+            assert store.get(spec.fingerprint()) is None
+            store.put(result)
+            fetched = store.get(spec.fingerprint())
+            assert fetched.fingerprint == result.fingerprint
+            assert fetched.report == result.report
+
+    def test_results_survive_a_fresh_store(self, db):
+        result = run(_tiny_spec())
+        with SqliteResultStore(db) as store:
+            store.put(result)
+        with SqliteResultStore(db) as fresh:
+            assert fresh.get(result.fingerprint).report == result.report
+
+    def test_len_contains_and_clear(self, db):
+        result = run(_tiny_spec())
+        with SqliteResultStore(db) as store:
+            store.put(result)
+            assert len(store) == 1
+            assert result.fingerprint in store
+            assert "not-a-fingerprint" not in store
+            store.clear()  # drops only the memo; rows persist
+            assert len(store) == 1
+            assert result.fingerprint in store
+
+    def test_corrupt_row_is_a_miss(self, db):
+        from repro.distributed import connect
+
+        with SqliteResultStore(db) as store:
+            conn = connect(db)
+            conn.execute(
+                "INSERT INTO results (fingerprint, payload, created_at) VALUES (?, ?, 0)",
+                ("deadbeef", "{ not json"),
+            )
+            conn.close()
+            assert store.get("deadbeef") is None
+
+    def test_matches_result_cache_protocol(self, db):
+        """The store is a drop-in cache: run_specs accepts it unchanged."""
+        from repro.api import run_specs
+
+        spec = _tiny_spec()
+        with SqliteResultStore(db) as store:
+            first = run_specs([spec], cache=store)
+            assert first.executed == 1 and first.cache_hits == 0
+        with SqliteResultStore(db) as reopened:
+            second = run_specs([spec], cache=reopened)
+            assert second.executed == 0 and second.cache_hits == 1
+
+
+class TestWorkerLoop:
+    def test_worker_drains_queue_in_process(self, db):
+        specs = [_tiny_spec(seed=s) for s in range(3)]
+        with Broker(db, policy=FAST) as broker:
+            _enqueue(broker, specs)
+            worker = Worker(db, config=WorkerConfig(policy=FAST, exit_when_idle=True))
+            assert worker.run() == 3
+            worker.close()
+            assert broker.counts()["done"] == 3
+            with SqliteResultStore(db) as store:
+                for spec in specs:
+                    assert store.get(spec.fingerprint()) is not None
+
+    def test_worker_respects_max_tasks(self, db):
+        specs = [_tiny_spec(seed=s) for s in range(3)]
+        with Broker(db, policy=FAST) as broker:
+            _enqueue(broker, specs)
+            worker = Worker(db, config=WorkerConfig(policy=FAST, max_tasks=1))
+            assert worker.run() == 1
+            worker.close()
+            assert broker.counts()["done"] == 1
+            assert broker.counts()["pending"] == 2
+
+    def test_worker_fails_bad_scenario_without_retry(self, db):
+        # num_jobs=0 passes spec validation but fails at materialization.
+        bad = ScenarioSpec(
+            workload=WorkloadSpec("benchmark", {"name": "sort", "num_jobs": 0}),
+            strategy="s-resume",
+            cluster={"num_nodes": 0},
+        )
+        with Broker(db, policy=FAST) as broker:
+            _enqueue(broker, [bad])
+            worker = Worker(db, config=WorkerConfig(policy=FAST, exit_when_idle=True))
+            assert worker.run() == 0
+            worker.close()
+            record = broker.task(bad.fingerprint())
+            assert record.status == "failed"
+            assert record.attempts == 1  # scenario errors are terminal, not retried
+
+    def test_worker_exits_when_draining(self, db):
+        with Broker(db, policy=FAST) as broker:
+            broker.drain()
+            worker = Worker(db, config=WorkerConfig(policy=FAST, exit_when_idle=False))
+            assert worker.run() == 0  # would poll forever without the drain flag
+            worker.close()

@@ -9,9 +9,6 @@ import pytest
 from repro.experiments import (
     ExperimentScale,
     ExperimentTable,
-    run_figure2,
-    run_figure3,
-    run_figure4,
     run_figure5,
     run_table1,
     run_table2,
@@ -249,3 +246,87 @@ class TestSweepCommand:
         )
         assert main(["sweep", "--spec", str(path)]) == 2
         assert "overrides[0]" in capsys.readouterr().err
+
+
+class TestDistributedCli:
+    def _sweep_file(self, tmp_path):
+        import json
+
+        payload = {
+            "base": {
+                "workload": {
+                    "kind": "benchmark",
+                    "params": {"name": "sort", "num_jobs": 3},
+                },
+                "strategy": "s-resume",
+                "strategy_params": {"tau_est": 30.0, "tau_kill": 60.0, "fixed_r": 1},
+                "cluster": {"num_nodes": 0},
+            },
+            "grid": {"strategy": ["hadoop-ns", "s-resume"], "seed": [0, 1]},
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_parser_accepts_executor_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--executor", "distributed", "--workers", "3", "--db", "q.sqlite"]
+        )
+        assert args.executor == "distributed"
+        assert args.workers == 3
+        assert args.db == "q.sqlite"
+
+    def test_sweep_distributed_rerun_served_from_store(self, tmp_path, capsys):
+        path = self._sweep_file(tmp_path)
+        db = str(tmp_path / "queue.sqlite")
+        argv = [
+            "sweep", "--spec", str(path),
+            "--executor", "distributed", "--workers", "2", "--db", db,
+        ]
+        assert main(argv) == 0
+        assert "4 scenarios: 4 executed" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "0 executed, 4 cache hits" in capsys.readouterr().out
+
+    def test_workers_requires_action_and_db(self, capsys):
+        assert main(["workers"]) == 2
+        assert "start, status, drain" in capsys.readouterr().err
+        assert main(["workers", "status"]) == 2
+        assert "--db" in capsys.readouterr().err
+
+    def test_workers_start_drains_prefilled_queue(self, tmp_path, capsys):
+        from repro.api import ScenarioSpec
+        from repro.distributed import Broker
+
+        specs = [
+            ScenarioSpec(
+                workload={"kind": "benchmark", "params": {"name": "sort", "num_jobs": 3}},
+                strategy="s-resume",
+                cluster={"num_nodes": 0},
+                seed=seed,
+            )
+            for seed in (0, 1)
+        ]
+        db = str(tmp_path / "queue.sqlite")
+        with Broker(db) as broker:
+            assert broker.enqueue(
+                [s.to_dict() for s in specs], [s.fingerprint() for s in specs]
+            ) == 2
+        assert main(
+            ["workers", "start", "--db", db, "--workers", "2", "--exit-when-idle"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "done=2" in out and "failed=0" in out
+        with Broker(db) as broker:
+            assert broker.settled()
+            assert broker.counts()["done"] == 2
+
+    def test_workers_status_and_drain(self, tmp_path, capsys):
+        db = str(tmp_path / "queue.sqlite")
+        assert main(["workers", "status", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "pending=0" in out and "draining: no" in out
+        assert main(["workers", "drain", "--db", db]) == 0
+        capsys.readouterr()
+        assert main(["workers", "status", "--db", db]) == 0
+        assert "draining: yes" in capsys.readouterr().out

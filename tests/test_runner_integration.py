@@ -9,7 +9,7 @@ from repro.hadoop.config import HadoopConfig
 from repro.simulator.cluster import ClusterConfig
 from repro.simulator.entities import JobSpec
 from repro.simulator.runner import SimulationRunner
-from repro.strategies import StrategyParameters, build_strategy
+from repro.strategies import build_strategy
 
 ALL_STRATEGIES = tuple(StrategyName)
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.simulator.entities import Attempt, AttemptStatus, Job, JobSpec, Task
+from repro.simulator.entities import Attempt, AttemptStatus, Job, JobSpec
 
 
 def make_job(num_tasks=3, deadline=100.0, submit=0.0) -> Job:
