@@ -1,10 +1,13 @@
-"""Benchmark sweep throughput across the three executor backends.
+"""Benchmark sweep throughput across the executor backends and the queue.
 
 Runs the same small scenario grid through the inline, process-pool and
 distributed executors and records scenarios/sec in the benchmark
 ``extra_info``, so ``--benchmark-verbose`` (or saved benchmark JSON)
 shows how much the parallel backends buy — and what the queue's
-durability costs — on this machine.
+durability costs — on this machine.  A second benchmark isolates the
+queue itself: claim/complete cycles at different ``claim_many`` batch
+sizes, quantifying how much batch claims amortize the per-transaction
+overhead.
 """
 
 from __future__ import annotations
@@ -66,3 +69,43 @@ def test_sweep_executor_throughput(benchmark, executor, tmp_path):
     benchmark.extra_info["executor"] = executor
     benchmark.extra_info["scenarios"] = len(specs)
     benchmark.extra_info["scenarios_per_sec"] = len(specs) / elapsed
+
+
+#: Tasks drained per round of the queue-overhead benchmark.
+QUEUE_TASKS = 128
+
+
+@pytest.mark.parametrize("batch", [1, 16])
+def test_broker_claim_batch_throughput(benchmark, batch, tmp_path):
+    """Queue overhead per task: single claims vs ``claim_many`` batches.
+
+    No scenarios are executed — the payloads are tiny stubs — so the
+    measured time is purely the broker's transaction cost, the ~ms/task
+    overhead batch claims exist to amortize.
+    """
+    from repro.distributed import Broker
+
+    db = tmp_path / "queue.sqlite"
+    payloads = [{"i": i} for i in range(QUEUE_TASKS)]
+    fingerprints = [f"bench{i:04d}" for i in range(QUEUE_TASKS)]
+
+    def drain_once() -> int:
+        for leftover in db.parent.glob(db.name + "*"):
+            leftover.unlink()
+        with Broker(db) as broker:
+            broker.enqueue(payloads, fingerprints)
+            drained = 0
+            while True:
+                tasks = broker.claim_many("bench-worker", batch)
+                if not tasks:
+                    return drained
+                for task in tasks:
+                    broker.complete(task.fingerprint, "bench-worker", {"ok": True})
+                drained += len(tasks)
+
+    drained = benchmark.pedantic(drain_once, rounds=3, iterations=1)
+    assert drained == QUEUE_TASKS
+    mean_s = benchmark.stats.stats.mean
+    benchmark.extra_info["claim_batch"] = batch
+    benchmark.extra_info["tasks"] = QUEUE_TASKS
+    benchmark.extra_info["tasks_per_sec"] = QUEUE_TASKS / max(mean_s, 1e-9)

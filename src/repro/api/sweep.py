@@ -125,7 +125,19 @@ def _execute_spec_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
 EXECUTORS = ("inline", "pool", "distributed")
 
 #: Process-wide executor defaults, set by :func:`set_default_executor`.
-_executor_defaults: Dict[str, Any] = {"executor": None, "workers": None, "db": None}
+_executor_defaults: Dict[str, Any] = {
+    "executor": None,
+    "workers": None,
+    "db": None,
+    "broker": None,
+}
+
+
+def _validate_broker_url(broker: Union[str, Path]) -> str:
+    text = str(broker)
+    if not (text.startswith("http://") or text.startswith("https://")):
+        raise ValueError(f"broker must be an http(s):// sweep-service URL, got {broker!r}")
+    return text
 
 
 def set_default_executor(
@@ -133,25 +145,37 @@ def set_default_executor(
     *,
     workers: Optional[int] = None,
     db: Optional[Union[str, Path]] = None,
+    broker: Optional[str] = None,
 ) -> None:
     """Set the process-wide executor backend used when callers pass none.
 
     This is how whole call trees that predate the distributed backend —
     the six experiment harnesses, ``run_strategy_suite``, user scripts —
     can be pointed at a worker fleet without changing a line of them:
-    the CLI (``--executor distributed --workers 4``) or a conftest sets
+    the CLI (``--executor distributed --workers 4``, or ``--broker
+    http://host:8176`` for a remote sweep service) or a conftest sets
     the default once, and every :func:`run_specs` call follows it.
 
     ``executor=None`` restores the automatic choice (``"pool"`` when
-    ``jobs > 1``, else ``"inline"``).
+    ``jobs > 1``, else ``"inline"``); a ``broker`` URL implies
+    ``"distributed"``.
     """
+    if broker is not None:
+        broker = _validate_broker_url(broker)
+        if executor is None:
+            executor = "distributed"
     if executor is not None and executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r} (available: {', '.join(EXECUTORS)})")
+    if broker is not None and executor != "distributed":
+        raise ValueError("broker= requires the distributed executor")
+    if broker is not None and db is not None:
+        raise ValueError("pass either db (sqlite path) or broker (service URL), not both")
     if workers is not None and workers < 1:
         raise ValueError("workers must be a positive integer")
     _executor_defaults["executor"] = executor
     _executor_defaults["workers"] = workers
     _executor_defaults["db"] = db
+    _executor_defaults["broker"] = broker
 
 
 def default_executor() -> Optional[str]:
@@ -277,6 +301,7 @@ def run_specs(
     executor: Optional[str] = None,
     workers: Optional[int] = None,
     db: Optional[Union[str, Path]] = None,
+    broker: Optional[str] = None,
     lease_timeout: Optional[float] = None,
 ) -> SweepResult:
     """Run a batch of scenarios, deduplicated by fingerprint.
@@ -295,34 +320,56 @@ def run_specs(
         executing and updated afterwards.
     executor:
         Backend: ``"inline"``, ``"pool"`` or ``"distributed"``.  ``None``
-        follows :func:`set_default_executor`, falling back to ``"pool"``
-        when ``jobs > 1`` and ``"inline"`` otherwise.
+        follows :func:`set_default_executor` (and a ``broker`` URL
+        implies ``"distributed"``), falling back to ``"pool"`` when
+        ``jobs > 1`` and ``"inline"`` otherwise.
     workers:
         Worker count for the pool/distributed backends (defaults to
-        ``jobs``, or 3 for ``"distributed"`` when ``jobs`` is 1).
+        ``jobs``, or 3 for ``"distributed"`` when ``jobs`` is 1).  With a
+        ``broker`` URL the default is *no* local workers — the fleets
+        attached to the service do the work; pass a count to also spawn
+        a local fleet speaking HTTP.
     db:
-        Queue database path for the distributed backend.  ``None`` uses a
-        throwaway per-run database; pass a real path to make the queue
-        durable — scenarios already in its result store are *not*
-        re-executed (they count as cache hits).
+        Queue database path for the distributed backend (``"queue.sqlite"``
+        or ``"sqlite:queue.sqlite"``).  ``None`` uses a throwaway per-run
+        database; pass a real path to make the queue durable — scenarios
+        already in its result store are *not* re-executed (they count as
+        cache hits).
+    broker:
+        ``http(s)://host:port`` URL of a ``chronos-experiments serve``
+        sweep service.  Mutually exclusive with ``db``: the service owns
+        the queue database, and this process (plus any worker fleets
+        pointed at the same URL, on any host) talks to it over HTTP.
     lease_timeout:
         Seconds a distributed worker's task lease survives without a
-        heartbeat before the task is requeued (default 30).
+        heartbeat before the task is requeued (default 30).  With a
+        ``broker`` URL the server's policy governs actual lease expiry.
     """
     if jobs < 1:
         raise ValueError("jobs must be a positive integer")
     if executor is None:
         executor = _executor_defaults["executor"]
+    if broker is None and db is None:
+        # Defaults are one queue-target setting: only consult them when the
+        # caller pinned neither target explicitly.
+        db = _executor_defaults["db"]
+        broker = _executor_defaults["broker"]
+    if broker is not None:
+        broker = _validate_broker_url(broker)
+        if executor is None:
+            executor = "distributed"
     if executor is None:
         executor = "pool" if jobs > 1 else "inline"
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r} (available: {', '.join(EXECUTORS)})")
+    if broker is not None and executor != "distributed":
+        raise ValueError("broker= requires the distributed executor")
+    if broker is not None and db is not None:
+        raise ValueError("pass either db (sqlite path) or broker (service URL), not both")
     if workers is None:
         workers = _executor_defaults["workers"]
     if workers is not None and workers < 1:
         raise ValueError("workers must be a positive integer")
-    if db is None:
-        db = _executor_defaults["db"]
     started = time.perf_counter()
     fingerprints = [spec.fingerprint() for spec in specs]
     results: Dict[int, ScenarioResult] = {}
@@ -356,7 +403,11 @@ def run_specs(
             # Imported lazily: repro.distributed depends on repro.api.
             from repro.distributed import executor as _distributed
 
-            fleet = workers if workers is not None else (jobs if jobs > 1 else 3)
+            if broker is not None:
+                # None means "the service's attached fleets do the work".
+                fleet = workers
+            else:
+                fleet = workers if workers is not None else (jobs if jobs > 1 else 3)
             policy = None
             if lease_timeout is not None:
                 from repro.distributed import LeasePolicy
@@ -365,7 +416,7 @@ def run_specs(
                     timeout=lease_timeout, heartbeat_interval=lease_timeout / 4.0
                 )
             done, served = _distributed.execute(
-                todo, commit, workers=fleet, db=db, policy=policy
+                todo, commit, workers=fleet, db=db, broker=broker, policy=policy
             )
             # Scenarios answered by the queue's result store were paid for
             # by an earlier run: report them as cache hits, not executions.
@@ -493,6 +544,7 @@ class Sweep:
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         db: Optional[Union[str, Path]] = None,
+        broker: Optional[str] = None,
         lease_timeout: Optional[float] = None,
     ) -> SweepResult:
         """Execute the sweep (see :func:`run_specs`)."""
@@ -503,5 +555,6 @@ class Sweep:
             executor=executor,
             workers=workers,
             db=db,
+            broker=broker,
             lease_timeout=lease_timeout,
         )

@@ -21,14 +21,20 @@ or drive long-lived workers from the CLI::
     chronos-experiments sweep --spec sweep.json --executor distributed --db queue.sqlite
     chronos-experiments workers status --db queue.sqlite
 
-The pieces are public for anyone building a custom topology (remote
-workers pointed at a shared database path, worker recycling, etc.).
+Queue *targets* are strings: a sqlite path (``"queue.sqlite"`` /
+``"sqlite:queue.sqlite"``) for workers sharing a filesystem, or the
+``http://host:port`` URL of a :mod:`repro.service` broker front-end for
+multi-host fleets — :func:`open_broker` / :func:`open_store` dispatch,
+and :class:`Worker`, :class:`WorkerPool` and :func:`execute` accept
+either.  The pieces are public for anyone building a custom topology
+(remote workers pointed at a shared service, worker recycling, etc.).
 """
 
 from repro.distributed.broker import Broker, Task, TaskFailedError, TaskRecord
 from repro.distributed.executor import default_db_path, execute
 from repro.distributed.leases import Lease, LeaseKeeper, LeasePolicy
-from repro.distributed.store import SqliteResultStore, connect
+from repro.distributed.store import SqliteResultStore, connect, normalize_db_path
+from repro.distributed.targets import is_service_url, open_broker, open_store
 from repro.distributed.worker import Worker, WorkerConfig, WorkerPool, make_worker_id, worker_main
 
 __all__ = [
@@ -50,6 +56,11 @@ __all__ = [
     # results
     "SqliteResultStore",
     "connect",
+    # targets
+    "normalize_db_path",
+    "is_service_url",
+    "open_broker",
+    "open_store",
     # driver
     "execute",
     "default_db_path",

@@ -87,7 +87,7 @@ class Broker:
         path: Union[str, Path],
         policy: Optional[LeasePolicy] = None,
     ):
-        self._path = Path(path)
+        self._path = _store.normalize_db_path(path)
         self._policy = policy if policy is not None else LeasePolicy()
         self._conn = _store.connect(self._path)
 
@@ -172,28 +172,50 @@ class Broker:
         Expired leases are swept first, so a claim after a worker crash
         picks the orphaned task back up without a separate janitor.
         """
+        tasks = self.claim_many(worker_id, 1)
+        return tasks[0] if tasks else None
+
+    def claim_many(self, worker_id: str, limit: int) -> List[Task]:
+        """Claim up to ``limit`` pending tasks in one transaction (FIFO).
+
+        Batch claims amortize the per-transaction queue overhead (~ms per
+        task) when scenarios are short; every claimed task gets its own
+        lease, so the crash-recovery story is unchanged — a dead worker's
+        whole batch expires and is requeued.  Returns fewer than ``limit``
+        tasks (possibly none) when the queue runs dry.
+        """
+        if limit < 1:
+            raise ValueError("claim limit must be a positive integer")
         now = time.time()
+        tasks: List[Task] = []
         with self._conn:
             self._conn.execute("BEGIN IMMEDIATE")
             self._sweep_expired_locked(now)
-            row = self._conn.execute(
+            rows = self._conn.execute(
                 "SELECT fingerprint, payload, attempts FROM tasks "
-                "WHERE status = 'pending' ORDER BY enqueued_at, fingerprint LIMIT 1"
-            ).fetchone()
-            if row is None:
-                return None
+                "WHERE status = 'pending' ORDER BY enqueued_at, fingerprint LIMIT ?",
+                (limit,),
+            ).fetchall()
             expires_at = now + self._policy.timeout
-            self._conn.execute(
-                "UPDATE tasks SET status = 'leased', attempts = attempts + 1, "
-                "lease_owner = ?, lease_expires_at = ?, updated_at = ? WHERE fingerprint = ?",
-                (worker_id, expires_at, now, row["fingerprint"]),
-            )
-        return Task(
-            fingerprint=row["fingerprint"],
-            payload=json.loads(row["payload"]),
-            attempts=row["attempts"] + 1,
-            lease=Lease(fingerprint=row["fingerprint"], owner=worker_id, expires_at=expires_at),
-        )
+            for row in rows:
+                self._conn.execute(
+                    "UPDATE tasks SET status = 'leased', attempts = attempts + 1, "
+                    "lease_owner = ?, lease_expires_at = ?, updated_at = ? WHERE fingerprint = ?",
+                    (worker_id, expires_at, now, row["fingerprint"]),
+                )
+                tasks.append(
+                    Task(
+                        fingerprint=row["fingerprint"],
+                        payload=json.loads(row["payload"]),
+                        attempts=row["attempts"] + 1,
+                        lease=Lease(
+                            fingerprint=row["fingerprint"],
+                            owner=worker_id,
+                            expires_at=expires_at,
+                        ),
+                    )
+                )
+        return tasks
 
     def heartbeat(self, fingerprint: str, worker_id: str) -> bool:
         """Renew a lease; returns ``False`` if the lease is no longer ours."""
@@ -313,15 +335,21 @@ class Broker:
     # ------------------------------------------------------------------
     # Worker liveness
     # ------------------------------------------------------------------
-    def register_worker(self, worker_id: str) -> None:
-        """Record a worker process (for ``workers status``)."""
+    def register_worker(self, worker_id: str, pid: Optional[int] = None) -> None:
+        """Record a worker process (for ``workers status``).
+
+        ``pid`` defaults to the calling process — pass it explicitly when
+        registering on behalf of a *remote* worker (the HTTP front-end
+        does, so multi-host fleets report their own pids, not the
+        server's).
+        """
         now = time.time()
         with self._conn:
             self._conn.execute(
                 "INSERT OR REPLACE INTO workers (worker_id, pid, started_at, last_seen_at, "
                 "tasks_done) VALUES (?, ?, ?, ?, "
                 "COALESCE((SELECT tasks_done FROM workers WHERE worker_id = ?), 0))",
-                (worker_id, os.getpid(), now, now, worker_id),
+                (worker_id, os.getpid() if pid is None else int(pid), now, now, worker_id),
             )
 
     def touch_worker(self, worker_id: str) -> None:
@@ -394,12 +422,37 @@ class Broker:
         ).fetchall()
         return [{key: row[key] for key in row.keys()} for row in rows]
 
+    def leased(self, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Per-lease detail: attempts and seconds until expiry.
+
+        This is what makes a stuck lease visible from ``workers status``
+        without opening the sqlite file: a task whose ``expires_in_s`` is
+        negative (or whose attempts keep climbing) is being ping-ponged
+        between dying workers.
+        """
+        now = time.time() if now is None else now
+        rows = self._conn.execute(
+            "SELECT fingerprint, lease_owner, attempts, max_attempts, lease_expires_at "
+            "FROM tasks WHERE status = 'leased' ORDER BY lease_expires_at, fingerprint"
+        ).fetchall()
+        return [
+            {
+                "fingerprint": row["fingerprint"],
+                "worker_id": row["lease_owner"],
+                "attempts": int(row["attempts"]),
+                "max_attempts": int(row["max_attempts"]),
+                "expires_in_s": (row["lease_expires_at"] or now) - now,
+            }
+            for row in rows
+        ]
+
     def stats(self) -> Dict[str, Any]:
-        """One status dict: task counts, workers, results, drain flag."""
+        """One status dict: task counts, leases, workers, results, drain flag."""
         results = self._conn.execute("SELECT COUNT(*) AS n FROM results").fetchone()
         return {
             "path": str(self._path),
             "tasks": self.counts(),
+            "leased": self.leased(),
             "results": int(results["n"]),
             "workers": self.workers(),
             "draining": self.is_draining(),

@@ -2,12 +2,14 @@
 
 :func:`execute` is the backend behind ``run_specs(...,
 executor="distributed")``.  It enqueues the uncached scenarios on a
-broker database, spins up a :class:`~repro.distributed.worker.WorkerPool`
-and supervises the run: sweeping expired leases, fast-releasing the
-leases of workers the parent reaps, and — if every worker dies — falling
-back to executing the remainder inline so a sweep never deadlocks on an
-empty pool.  Results come back from the shared
-:class:`~repro.distributed.store.SqliteResultStore` table, which also
+queue *target* — a sqlite database path, or the ``http://`` URL of a
+:mod:`repro.service` broker front-end — spins up a
+:class:`~repro.distributed.worker.WorkerPool` (unless the caller relies
+on remote fleets already attached to the service) and supervises the
+run: sweeping expired leases, fast-releasing the leases of workers the
+parent reaps, and falling back to executing the remainder inline if the
+pool dies or a fleetless remote queue stalls, so a sweep never
+deadlocks.  Results come back from the shared result store, which also
 makes an identical re-run a pure store read with zero executions.
 """
 
@@ -21,13 +23,19 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.api.facade import ScenarioResult, run
 from repro.api.spec import ScenarioSpec
-from repro.distributed.broker import Broker, TaskFailedError
+from repro.distributed.broker import TaskFailedError
 from repro.distributed.leases import LeasePolicy
-from repro.distributed.store import SqliteResultStore
+from repro.distributed.targets import is_service_url, open_broker, open_store
 from repro.distributed.worker import WorkerConfig, WorkerPool
 
 #: Seconds between supervision passes while workers run.
 SUPERVISE_INTERVAL = 0.05
+
+#: Supervision interval against an HTTP broker: each pass costs a few
+#: RPCs through the service's single lock (one of them a write
+#: transaction), so polling 20x/sec would tax the server for nothing
+#: more than faster end-of-sweep detection.
+REMOTE_SUPERVISE_INTERVAL = 0.25
 
 
 def default_db_path() -> Path:
@@ -39,8 +47,9 @@ def execute(
     todo: Sequence[Tuple[str, ScenarioSpec]],
     commit: Callable[[int, ScenarioResult], None],
     *,
-    workers: int = 3,
+    workers: Optional[int] = 3,
     db: Optional[Union[str, Path]] = None,
+    broker: Optional[str] = None,
     policy: Optional[LeasePolicy] = None,
 ) -> Tuple[Dict[int, ScenarioResult], Set[int]]:
     """Run ``(fingerprint, spec)`` pairs across a pool of worker processes.
@@ -51,6 +60,15 @@ def execute(
     run already paid for — the caller reports those as cache hits, not
     executions).
 
+    Exactly one queue target applies: ``db`` (sqlite path; ``None`` means
+    a throwaway per-run database) or ``broker`` (service URL).  With a
+    ``broker`` URL, ``workers=None`` spawns *no* local pool — the fleets
+    already attached to the service do the work, which is the multi-host
+    topology; a positive ``workers`` spawns a local fleet speaking HTTP,
+    which composes with remote fleets.  If a fleetless remote queue makes
+    no progress for a full lease timeout, the parent drains it inline so
+    a sweep against an idle service still completes.
+
     Tasks whose workers crash are requeued by lease expiry (or
     immediately, when the parent reaps the dead process) with bounded
     attempts; tasks that *fail* (the scenario itself raised) are retried
@@ -58,17 +76,30 @@ def execute(
     in the parent process under ``spawn`` start methods — and raise
     :class:`TaskFailedError` only if the inline retry fails too.
     """
-    throwaway = db is None
-    db_path = Path(db) if db is not None else default_db_path()
+    if broker is not None and db is not None:
+        raise ValueError("pass either db (sqlite path) or broker (service URL), not both")
+    if broker is not None and not is_service_url(broker):
+        raise ValueError(f"broker must be an http(s):// service URL, got {broker!r}")
+    remote = broker is not None
+    throwaway = db is None and not remote
+    target = str(broker) if remote else str(db if db is not None else default_db_path())
     policy = policy if policy is not None else LeasePolicy()
-    broker = Broker(db_path, policy=policy)
-    store = SqliteResultStore(db_path)
+    if workers is None:
+        workers = 0 if remote else 3
+    if workers < 0 or (workers == 0 and not remote):
+        raise ValueError("workers must be positive (or None with a broker URL)")
+    broker_client = open_broker(target, policy=policy)
+    store = open_store(target)
     done: Dict[int, ScenarioResult] = {}
     served_from_store: Set[int] = set()
     try:
+        # One fingerprint-set query up front instead of a point read per
+        # scenario: over HTTP that is one round trip, and on sqlite it
+        # keeps re-run short-circuiting O(stored) rather than O(todo).
+        known = store.fingerprints()
         pending: List[Tuple[int, str, ScenarioSpec]] = []
         for position, (fingerprint, spec) in enumerate(todo):
-            stored = store.get(fingerprint)
+            stored = store.get(fingerprint) if fingerprint in known else None
             if stored is not None:
                 done[position] = stored
                 served_from_store.add(position)
@@ -78,14 +109,16 @@ def execute(
         if not pending:
             return done, served_from_store
 
-        broker.enqueue(
+        broker_client.enqueue(
             [spec.to_dict() for _, _, spec in pending],
             [fingerprint for _, fingerprint, _ in pending],
         )
         position_of = {fingerprint: position for position, fingerprint, _ in pending}
 
         config = WorkerConfig(policy=policy, exit_when_idle=True)
-        pool = WorkerPool(db_path, workers=min(workers, len(pending)), config=config)
+        pool: Optional[WorkerPool] = None
+        if workers > 0:
+            pool = WorkerPool(target, workers=min(workers, len(pending)), config=config)
         collected: Set[str] = set()
 
         def collect_new() -> None:
@@ -104,24 +137,47 @@ def execute(
                     done[position] = result
                     commit(position, result)
 
-        with pool:
-            while not broker.settled():
-                broker.requeue_expired()
-                pool.reap(broker)
+        supervise_interval = REMOTE_SUPERVISE_INTERVAL if remote else SUPERVISE_INTERVAL
+        last_done = -1
+        last_progress = time.monotonic()
+        try:
+            if pool is not None:
+                pool.start()
+            while not broker_client.settled():
+                broker_client.requeue_expired()
+                if pool is not None:
+                    pool.supervise(broker_client)
                 collect_new()
-                if pool.alive_count() == 0 and not broker.settled():
-                    # Pool wiped out (or workers exited early): finish the
-                    # remaining queue inline so the sweep still completes.
-                    _drain_inline(broker)
-                    break
-                time.sleep(SUPERVISE_INTERVAL)
-            pool.join(timeout=policy.timeout)
+                if pool is not None:
+                    if pool.alive_count() == 0 and not broker_client.settled():
+                        # Pool wiped out (or workers exited early): finish the
+                        # remaining queue inline so the sweep still completes.
+                        _drain_inline(broker_client)
+                        break
+                else:
+                    # Fleetless remote queue: remote workers own the work, but
+                    # if nothing is leased and nothing completes for a full
+                    # lease timeout, assume no fleet is attached and drain
+                    # inline rather than hanging forever.
+                    counts = broker_client.counts()
+                    if counts["leased"] > 0 or counts["done"] != last_done:
+                        last_done = counts["done"]
+                        last_progress = time.monotonic()
+                    elif time.monotonic() - last_progress > policy.timeout:
+                        _drain_inline(broker_client)
+                        break
+                time.sleep(supervise_interval)
+            if pool is not None:
+                pool.join(timeout=policy.timeout)
+        finally:
+            if pool is not None:
+                pool.terminate()
         collect_new()
 
         # Failed tasks get one inline retry in the parent: it sees plugins
         # the workers may not (spawn start method), and a genuine scenario
         # error will raise here exactly like the inline executor does.
-        for fingerprint, payload, error in broker.failed_payloads():
+        for fingerprint, payload, error in broker_client.failed_payloads():
             position = position_of.get(fingerprint)
             if position is None or fingerprint in collected:
                 continue
@@ -129,21 +185,21 @@ def execute(
                 result = run(ScenarioSpec.from_dict(payload))
             except Exception as retry_error:
                 raise TaskFailedError(fingerprint, f"{error}; inline retry: {retry_error}") from retry_error
-            broker.complete(fingerprint, "parent-inline", result.to_dict())
+            broker_client.complete(fingerprint, "parent-inline", result.to_dict())
             collected.add(fingerprint)
             done[position] = result
             commit(position, result)
         return done, served_from_store
     finally:
         store.close()
-        broker.close()
+        broker_client.close()
         if throwaway:
             # We minted the temp queue; its durability has no value past
             # this call, so do not litter the temp dir with WAL files.
-            shutil.rmtree(db_path.parent, ignore_errors=True)
+            shutil.rmtree(Path(target).parent, ignore_errors=True)
 
 
-def _drain_inline(broker: Broker) -> None:
+def _drain_inline(broker) -> None:
     """Claim-and-run the remaining queue in the current process."""
     worker_id = "parent-inline"
     broker.register_worker(worker_id)

@@ -20,12 +20,25 @@ import json
 import sqlite3
 import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.api.facade import ScenarioResult
 
 #: Milliseconds a connection waits on a locked database before failing.
 BUSY_TIMEOUT_MS = 10_000
+
+#: Optional scheme prefix accepted wherever a queue database path is taken
+#: (``db="sqlite:queue.sqlite"``), mirroring the ``http://`` broker URLs of
+#: :mod:`repro.service`.
+SQLITE_PREFIX = "sqlite:"
+
+
+def normalize_db_path(target: Union[str, Path]) -> Path:
+    """A queue-database target as a filesystem path (``sqlite:`` stripped)."""
+    text = str(target)
+    if text.startswith(SQLITE_PREFIX):
+        text = text[len(SQLITE_PREFIX):]
+    return Path(text)
 
 SCHEMA = """
 CREATE TABLE IF NOT EXISTS tasks (
@@ -68,13 +81,21 @@ def connect(path: Union[str, Path]) -> sqlite3.Connection:
     connection; sqlite's WAL journal plus a generous busy timeout does the
     cross-process coordination.
     """
-    path = Path(path)
+    path = normalize_db_path(path)
     if path.parent != Path("."):
         path.parent.mkdir(parents=True, exist_ok=True)
     # Autocommit mode: transactions are opened explicitly (BEGIN IMMEDIATE)
     # where read-then-write atomicity matters, instead of relying on
-    # pysqlite's implicit transaction sniffing.
-    conn = sqlite3.connect(str(path), timeout=BUSY_TIMEOUT_MS / 1000.0, isolation_level=None)
+    # pysqlite's implicit transaction sniffing.  check_same_thread is off
+    # because owners that *do* cross threads (the HTTP front-end's handler
+    # threads) serialize every call under their own lock; everyone else
+    # keeps the one-connection-per-thread discipline.
+    conn = sqlite3.connect(
+        str(path),
+        timeout=BUSY_TIMEOUT_MS / 1000.0,
+        isolation_level=None,
+        check_same_thread=False,
+    )
     conn.row_factory = sqlite3.Row
     conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
     conn.execute("PRAGMA journal_mode = WAL")
@@ -97,7 +118,7 @@ class SqliteResultStore:
     """
 
     def __init__(self, path: Union[str, Path]):
-        self._path = Path(path)
+        self._path = normalize_db_path(path)
         self._conn = connect(self._path)
         self._memory: Dict[str, ScenarioResult] = {}
 
@@ -122,13 +143,42 @@ class SqliteResultStore:
         self._memory[fingerprint] = result
         return result
 
+    def get_payload(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The raw stored result payload (no :class:`ScenarioResult` parse).
+
+        This is what the HTTP front-end serves: the wire format is the
+        stored JSON itself, so the server never pays deserialization for
+        results it only relays.  Corrupt rows are a miss, like :meth:`get`.
+        """
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row["payload"])
+        except ValueError:
+            return None
+        return payload if isinstance(payload, dict) else None
+
     def put(self, result: ScenarioResult, worker_id: Optional[str] = None) -> None:
         """Store a result under its fingerprint (idempotent upsert)."""
         self._memory[result.fingerprint] = result
+        self.put_payload(result.to_dict(), worker_id=worker_id, fingerprint=result.fingerprint)
+
+    def put_payload(
+        self,
+        payload: Dict[str, Any],
+        worker_id: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        """Store an already-serialized result dict (the HTTP server's path)."""
+        if fingerprint is None:
+            fingerprint = str(payload["fingerprint"])
         self._conn.execute(
             "INSERT OR REPLACE INTO results (fingerprint, payload, worker_id, created_at) "
             "VALUES (?, ?, ?, ?)",
-            (result.fingerprint, json.dumps(result.to_dict()), worker_id, time.time()),
+            (fingerprint, json.dumps(payload), worker_id, time.time()),
         )
         self._conn.commit()
 
@@ -136,6 +186,30 @@ class SqliteResultStore:
         """All stored fingerprints in one query (cheap presence check)."""
         rows = self._conn.execute("SELECT fingerprint FROM results").fetchall()
         return {row["fingerprint"] for row in rows}
+
+    def results(self) -> List[ScenarioResult]:
+        """Every stored result, in insertion order (skipping corrupt rows).
+
+        This is the export path (``chronos-experiments export``): a full
+        scan parsed into :class:`ScenarioResult` objects, ready to wrap in
+        a :class:`repro.api.SweepResult` for tabular output.
+        """
+        rows = self._conn.execute(
+            "SELECT fingerprint, payload FROM results ORDER BY created_at, fingerprint"
+        ).fetchall()
+        parsed: List[ScenarioResult] = []
+        for row in rows:
+            cached = self._memory.get(row["fingerprint"])
+            if cached is not None:
+                parsed.append(cached)
+                continue
+            try:
+                result = ScenarioResult.from_dict(json.loads(row["payload"]))
+            except (ValueError, TypeError, KeyError):
+                continue
+            self._memory[result.fingerprint] = result
+            parsed.append(result)
+        return parsed
 
     def clear(self) -> None:
         """Drop the in-memory layer (database rows are left alone)."""

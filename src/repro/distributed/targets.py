@@ -1,0 +1,57 @@
+"""Queue targets: one string names either a sqlite file or a broker service.
+
+Everything in the distributed subsystem that used to take a database
+*path* now takes a *target*:
+
+- ``"queue.sqlite"`` or ``"sqlite:queue.sqlite"`` — a local (or shared
+  filesystem) queue database, opened directly via :class:`Broker` /
+  :class:`SqliteResultStore`;
+- ``"http://host:port"`` or ``https://…`` — a remote
+  :mod:`repro.service` broker front-end, reached through
+  :class:`~repro.service.HttpBroker` / ``HttpResultStore``.
+
+:func:`open_broker` and :func:`open_store` are the only dispatch points,
+so :class:`~repro.distributed.worker.Worker`, ``WorkerPool`` and the
+sweep executor run unchanged against either transport.  The service
+client is imported lazily: plain sqlite topologies never load the HTTP
+machinery.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.distributed.broker import Broker
+from repro.distributed.leases import LeasePolicy
+from repro.distributed.store import SqliteResultStore, normalize_db_path
+
+
+def is_service_url(target: Union[str, Path]) -> bool:
+    """Whether a queue target names an HTTP broker service (vs a file)."""
+    text = str(target)
+    return text.startswith("http://") or text.startswith("https://")
+
+
+def open_broker(target: Union[str, Path], policy: Optional[LeasePolicy] = None):
+    """A broker for a queue target: sqlite-backed or HTTP, same interface.
+
+    For service URLs the returned :class:`~repro.service.HttpBroker`'s
+    lease timing is governed by the *server's* policy (it owns the
+    database); the ``policy`` argument only seeds the client-side default
+    used before the server has been asked.
+    """
+    if is_service_url(target):
+        from repro.service import HttpBroker
+
+        return HttpBroker(str(target), policy=policy)
+    return Broker(normalize_db_path(target), policy=policy)
+
+
+def open_store(target: Union[str, Path]):
+    """A result store for a queue target (sqlite-backed or HTTP)."""
+    if is_service_url(target):
+        from repro.service import HttpResultStore
+
+        return HttpResultStore(str(target))
+    return SqliteResultStore(normalize_db_path(target))

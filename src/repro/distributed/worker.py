@@ -1,16 +1,24 @@
 """Worker processes that execute queued scenarios.
 
-A :class:`Worker` repeatedly claims a task from the broker, rebuilds the
-:class:`~repro.api.spec.ScenarioSpec` from the stored payload, runs it
-through the :func:`repro.api.run` façade and writes the result back —
-all while a :class:`~repro.distributed.leases.LeaseKeeper` thread renews
-its lease so slow scenarios are not mistaken for crashes.
+A :class:`Worker` repeatedly claims a batch of tasks from the broker,
+rebuilds each :class:`~repro.api.spec.ScenarioSpec` from the stored
+payload, runs it through the :func:`repro.api.run` façade and writes the
+result back — all while a
+:class:`~repro.distributed.leases.LeaseKeeper` thread renews the leases
+of the batch so slow scenarios are not mistaken for crashes.
+
+Workers are transport-agnostic: the queue target may be a sqlite path
+(workers on one machine, or a shared filesystem) or an ``http://`` URL
+of a :mod:`repro.service` broker front-end (multi-host fleets) — see
+:mod:`repro.distributed.targets`.
 
 ``worker_main`` is the process entry point (importable at module top
 level, so it works under both ``fork`` and ``spawn`` start methods), and
 :class:`WorkerPool` spawns and supervises N such processes from a parent
 — the shape the sweep executor and the ``chronos-experiments workers``
-CLI both use.
+CLI both use.  With a ``restart_budget`` the pool is a *supervised
+fleet*: members that die abnormally are replaced automatically (clean
+exits — drained queue, ``max_tasks`` recycling — are not).
 """
 
 from __future__ import annotations
@@ -21,17 +29,23 @@ import time
 import uuid
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.api.facade import run
 from repro.api.spec import ScenarioSpec
-from repro.distributed.broker import Broker, Task
+from repro.distributed.broker import Task
 from repro.distributed.leases import LeaseKeeper, LeasePolicy
 
 
 def make_worker_id(prefix: str = "worker") -> str:
     """A unique worker identity: ``prefix-<pid>-<random>``."""
     return f"{prefix}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+#: Consecutive transient transport failures a worker rides out before
+#: giving up (a service restart takes a few seconds; a whole fleet dying
+#: to one blip would waste the restart budget on a non-crash).
+TRANSIENT_RETRY_LIMIT = 8
 
 
 @dataclass(frozen=True)
@@ -51,12 +65,22 @@ class WorkerConfig:
     max_tasks:
         Optional cap on tasks executed before exiting (useful in tests
         and for worker recycling).
+    claim_batch:
+        Tasks claimed per broker round trip (one transaction, one lease
+        each).  Batching amortizes the ~ms/task queue overhead for short
+        scenarios; recovery is unchanged because every task in the batch
+        still has its own lease.
     """
 
     policy: LeasePolicy = field(default_factory=LeasePolicy)
     poll_interval: float = 0.05
     exit_when_idle: bool = True
     max_tasks: Optional[int] = None
+    claim_batch: int = 4
+
+    def __post_init__(self) -> None:
+        if self.claim_batch < 1:
+            raise ValueError("claim_batch must be a positive integer")
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON/pickle-friendly representation (crosses the spawn boundary)."""
@@ -73,22 +97,37 @@ class WorkerConfig:
 
 
 class Worker:
-    """One claim-execute-commit loop bound to a queue database."""
+    """One claim-execute-commit loop bound to a queue target.
+
+    ``target`` is a sqlite path or an ``http://`` service URL (see
+    :mod:`repro.distributed.targets`); the loop is identical either way.
+    """
 
     def __init__(
         self,
-        db_path: Union[str, Path],
+        target: Union[str, Path],
         worker_id: Optional[str] = None,
         config: Optional[WorkerConfig] = None,
     ):
+        from repro.distributed.targets import is_service_url, open_broker
+
         self.worker_id = worker_id or make_worker_id()
         self.config = config if config is not None else WorkerConfig()
-        self._db_path = Path(db_path)
-        self._broker = Broker(self._db_path, policy=self.config.policy)
+        self._target = str(target)
+        self._broker = open_broker(self._target, policy=self.config.policy)
+        # Over HTTP, a dropped request is recoverable (the lease protocol
+        # already tolerates gaps); over sqlite any error is a local fault.
+        if is_service_url(self._target):
+            from repro.service.protocol import ServiceError
+
+            self._transient_errors: Tuple[type, ...] = (ServiceError,)
+        else:
+            self._transient_errors = ()
         # Lazily-created second broker used only by the heartbeat thread
-        # (Broker instances are not thread safe); one long-lived
-        # connection rather than a fresh one per task.
-        self._keeper_broker: Optional[Broker] = None
+        # (sqlite Broker instances are not thread safe); one long-lived
+        # connection rather than a fresh one per task.  HttpBroker *is*
+        # thread safe (a request per call), so it is simply shared.
+        self._keeper_broker = None
         self.tasks_done = 0
 
     def run(self) -> int:
@@ -96,57 +135,113 @@ class Worker:
 
         Exit conditions: the queue settles (``exit_when_idle``), the
         queue is draining and has no claimable work, or ``max_tasks`` is
-        reached.
+        reached.  Transient service errors (an HTTP broker restarting, a
+        dropped request) are retried with backoff up to
+        :data:`TRANSIENT_RETRY_LIMIT` consecutive failures — a lease lost
+        to a failed ``complete`` simply expires and the task is redone.
         """
-        self._broker.register_worker(self.worker_id)
+        transient_failures = 0
+        registered = False
         while True:
-            if self.config.max_tasks is not None and self.tasks_done >= self.config.max_tasks:
-                return self.tasks_done
-            task = self._broker.claim(self.worker_id)
-            if task is None:
-                if self._broker.is_draining() or (
-                    self.config.exit_when_idle and self._broker.settled()
-                ):
+            limit = self.config.claim_batch
+            if self.config.max_tasks is not None:
+                remaining = self.config.max_tasks - self.tasks_done
+                if remaining <= 0:
                     return self.tasks_done
-                self._broker.touch_worker(self.worker_id)
-                time.sleep(self.config.poll_interval)
-                continue
-            self._execute(task)
+                limit = min(limit, remaining)
+            try:
+                if not registered:
+                    self._broker.register_worker(self.worker_id)
+                    registered = True
+                tasks = self._broker.claim_many(self.worker_id, limit)
+                if not tasks:
+                    if self._broker.is_draining() or (
+                        self.config.exit_when_idle and self._broker.settled()
+                    ):
+                        return self.tasks_done
+                    self._broker.touch_worker(self.worker_id)
+                    time.sleep(self.config.poll_interval)
+                    continue
+                self._execute_batch(tasks)
+                transient_failures = 0
+            except self._transient_errors:
+                transient_failures += 1
+                if transient_failures > TRANSIENT_RETRY_LIMIT:
+                    raise
+                time.sleep(
+                    min(
+                        self.config.poll_interval * (2 ** transient_failures),
+                        self.config.policy.heartbeat_interval,
+                    )
+                )
 
-    def _execute(self, task: Task) -> None:
-        """Run one claimed scenario under a heartbeating lease."""
+    def _heartbeat_broker(self):
+        """The broker the heartbeat thread talks to (created on demand)."""
         if self._keeper_broker is None:
-            self._keeper_broker = Broker(self._db_path, policy=self.config.policy)
-        keeper_broker = self._keeper_broker
-        keeper = LeaseKeeper(
-            renew=lambda: keeper_broker.heartbeat(task.fingerprint, self.worker_id),
-            interval=self.config.policy.heartbeat_interval,
+            from repro.distributed.targets import is_service_url, open_broker
+
+            if is_service_url(self._target):
+                self._keeper_broker = self._broker
+            else:
+                self._keeper_broker = open_broker(self._target, policy=self.config.policy)
+        return self._keeper_broker
+
+    def _execute_batch(self, tasks: List[Task]) -> None:
+        """Run claimed scenarios while one keeper renews every held lease."""
+        outstanding = {task.fingerprint for task in tasks}
+        keeper_broker = self._heartbeat_broker()
+
+        def renew() -> bool:
+            if not outstanding:
+                return True  # batch finished; nothing left to lose
+            alive = False
+            for fingerprint in list(outstanding):
+                if keeper_broker.heartbeat(fingerprint, self.worker_id):
+                    alive = True
+            return alive
+
+        # Pace beats to the broker's *effective* policy: over HTTP the
+        # server grants the leases under its own timeout, and beating at
+        # a locally-configured (possibly much longer) interval would let
+        # healthy tasks expire between beats.  For sqlite targets the
+        # broker's policy is the config's, so this changes nothing.
+        interval = min(
+            self.config.policy.heartbeat_interval,
+            self._broker.policy.heartbeat_interval,
         )
+        keeper = LeaseKeeper(renew=renew, interval=interval)
         try:
             with keeper:
-                try:
-                    result = run(ScenarioSpec.from_dict(task.payload))
-                except Exception as error:  # scenario errors are terminal, not retried
-                    self._broker.fail(task.fingerprint, self.worker_id, f"{type(error).__name__}: {error}")
-                    return
-            # Execution is deterministic, so the result is committed even
-            # if the lease was lost mid-run (the upsert is idempotent and
-            # whoever re-claimed the task will produce the same bytes).
-            self._broker.complete(task.fingerprint, self.worker_id, result.to_dict())
-            self.tasks_done += 1
+                for task in tasks:
+                    try:
+                        result = run(ScenarioSpec.from_dict(task.payload))
+                    except Exception as error:  # scenario errors are terminal, not retried
+                        self._broker.fail(
+                            task.fingerprint, self.worker_id, f"{type(error).__name__}: {error}"
+                        )
+                        outstanding.discard(task.fingerprint)
+                        continue
+                    # Execution is deterministic, so the result is committed
+                    # even if the lease was lost mid-run (the upsert is
+                    # idempotent and whoever re-claimed the task will
+                    # produce the same bytes).
+                    self._broker.complete(task.fingerprint, self.worker_id, result.to_dict())
+                    outstanding.discard(task.fingerprint)
+                    self.tasks_done += 1
         finally:
             keeper.stop()
 
     def close(self) -> None:
-        """Release the worker's database connections."""
+        """Release the worker's broker connections."""
+        keeper_broker = self._keeper_broker
+        self._keeper_broker = None
+        if keeper_broker is not None and keeper_broker is not self._broker:
+            keeper_broker.close()
         self._broker.close()
-        if self._keeper_broker is not None:
-            self._keeper_broker.close()
-            self._keeper_broker = None
 
 
 def worker_main(
-    db_path: str,
+    target: str,
     worker_id: Optional[str] = None,
     config: Optional[Dict[str, Any]] = None,
 ) -> None:
@@ -156,7 +251,7 @@ def worker_main(
     list stays picklable under the ``spawn`` start method.
     """
     worker = Worker(
-        db_path,
+        target,
         worker_id=worker_id,
         config=WorkerConfig.from_dict(config) if config is not None else None,
     )
@@ -167,28 +262,40 @@ def worker_main(
 
 
 class WorkerPool:
-    """N worker processes sharing one queue database.
+    """N worker processes sharing one queue target.
 
     The pool only starts and reaps processes; all work coordination goes
     through the broker.  When the parent reaps a dead worker it releases
     that worker's leases immediately (crash fast-path) instead of waiting
     out the lease timeout — workers that died *without* a supervising
     parent are still recovered by lease expiry.
+
+    With ``restart_budget > 0`` the pool runs as a *supervised fleet*:
+    :meth:`supervise` replaces members that died abnormally (nonzero
+    exit code — a crash, OOM kill or SIGKILL) with fresh processes, up
+    to the budget, so a long-lived service fleet heals itself without
+    operator action.  Clean exits (drained queue, ``max_tasks``
+    recycling, settled idle queue) are never restarted.
     """
 
     def __init__(
         self,
-        db_path: Union[str, Path],
+        target: Union[str, Path],
         workers: int,
         config: Optional[WorkerConfig] = None,
         id_prefix: str = "worker",
+        restart_budget: int = 0,
     ):
         if workers < 1:
             raise ValueError("workers must be a positive integer")
-        self._db_path = Path(db_path)
+        if restart_budget < 0:
+            raise ValueError("restart_budget must be non-negative")
+        self._target = str(target)
         self._config = config if config is not None else WorkerConfig()
         self._context = multiprocessing.get_context()
         self._id_prefix = id_prefix
+        self.restart_budget = restart_budget
+        self.restarts: List[Tuple[str, str]] = []  # (dead worker id, replacement id)
         self.worker_ids = [f"{id_prefix}-{uuid.uuid4().hex[:8]}" for _ in range(workers)]
         self._processes: Dict[str, multiprocessing.process.BaseProcess] = {}
         self._reaped: set = set()
@@ -203,7 +310,7 @@ class WorkerPool:
     def _spawn(self, worker_id: str) -> multiprocessing.process.BaseProcess:
         process = self._context.Process(
             target=worker_main,
-            args=(str(self._db_path), worker_id, self._config.to_dict()),
+            args=(self._target, worker_id, self._config.to_dict()),
             name=worker_id,
             daemon=True,
         )
@@ -215,11 +322,16 @@ class WorkerPool:
         """The managed processes, in worker order."""
         return [self._processes[worker_id] for worker_id in self.worker_ids]
 
+    @property
+    def restarts_used(self) -> int:
+        """How many replacement workers have been spawned so far."""
+        return len(self.restarts)
+
     def alive_count(self) -> int:
         """How many workers are currently running."""
         return sum(1 for process in self._processes.values() if process.is_alive())
 
-    def reap(self, broker: Broker) -> List[str]:
+    def reap(self, broker) -> List[str]:
         """Release leases of newly-dead workers; returns their ids."""
         newly_dead = []
         for worker_id, process in self._processes.items():
@@ -228,6 +340,41 @@ class WorkerPool:
                 broker.release_worker(worker_id)
                 newly_dead.append(worker_id)
         return newly_dead
+
+    def restart(self, worker_id: str) -> str:
+        """Replace one (dead) member with a fresh process; returns its id.
+
+        The replacement gets a new worker identity — worker ids are
+        lease owners, and reusing a dead worker's id would let its stale
+        leases outlive the crash accounting.
+        """
+        if worker_id not in self._processes:
+            raise KeyError(f"unknown worker {worker_id!r}")
+        replacement = f"{self._id_prefix}-{uuid.uuid4().hex[:8]}"
+        self.worker_ids[self.worker_ids.index(worker_id)] = replacement
+        del self._processes[worker_id]
+        self._processes[replacement] = self._spawn(replacement)
+        self.restarts.append((worker_id, replacement))
+        return replacement
+
+    def supervise(self, broker) -> List[str]:
+        """One supervision pass: reap the dead, restart the crashed.
+
+        Releases leases of every newly-dead worker (via :meth:`reap`),
+        then — while the restart budget lasts — replaces the ones that
+        exited abnormally.  Returns the replacement worker ids spawned
+        this pass.  Call it periodically from the owning loop; it is
+        cheap when nothing died.
+        """
+        replacements: List[str] = []
+        for worker_id in self.reap(broker):
+            process = self._processes[worker_id]
+            if process.exitcode == 0:
+                continue  # clean exit: drained, recycled or idle
+            if self.restarts_used >= self.restart_budget:
+                continue  # budget exhausted: leave it dead, leases released
+            replacements.append(self.restart(worker_id))
+        return replacements
 
     def join(self, timeout: Optional[float] = None) -> None:
         """Wait for all workers to exit."""

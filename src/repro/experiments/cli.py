@@ -11,6 +11,10 @@ Installed as ``chronos-experiments``.  Examples::
     chronos-experiments workers start --db queue.sqlite --workers 4
     chronos-experiments workers status --db queue.sqlite
     chronos-experiments workers drain --db queue.sqlite
+    chronos-experiments serve --db queue.sqlite --port 8176
+    chronos-experiments workers start --broker http://host:8176 --workers 4
+    chronos-experiments sweep --spec sweep.json --broker http://host:8176
+    chronos-experiments export --db queue.sqlite --csv results.csv
 
 The ``sweep`` command runs a declarative scenario sweep from a JSON file
 of the form::
@@ -28,10 +32,15 @@ dotted override paths to value lists (cartesian product), and an optional
 to) ``grid``.
 
 The ``workers`` command manages a fleet of distributed sweep workers
-attached to a queue database (see :mod:`repro.distributed`): ``start``
-spawns worker processes that claim queued scenarios under crash-safe
-leases, ``status`` prints queue/worker state, and ``drain`` asks running
-workers to exit once no claimable work remains.
+attached to a queue — a local database (``--db``) or a remote sweep
+service (``--broker http://host:port``, see :mod:`repro.service`):
+``start`` spawns worker processes that claim queued scenarios under
+crash-safe leases (and, with ``--restarts``, replaces crashed members
+automatically), ``status`` prints queue/lease/worker state, and
+``drain`` asks running workers to exit once no claimable work remains.
+
+``serve`` runs the HTTP broker front-end that makes multi-host fleets
+possible, and ``export`` dumps a queue database's result store as CSV.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ from repro.api import (
     ScenarioSpec,
     SpecValidationError,
     Sweep,
+    SweepResult,
     set_default_executor,
 )
 from repro.experiments.common import ExperimentScale, ExperimentTable
@@ -109,8 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=["all"],
         help=(
             "experiment names (figure2, table1, table2, figure3, figure4, figure5), "
-            "'all', 'sweep' to run a scenario sweep from --spec, or "
-            "'workers start|status|drain' to manage distributed sweep workers"
+            "'all', 'sweep' to run a scenario sweep from --spec, "
+            "'workers start|status|drain' to manage distributed sweep workers, "
+            "'serve' to run the HTTP broker front-end, or "
+            "'export' to dump a queue's result store as CSV"
         ),
     )
     parser.add_argument(
@@ -136,8 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--csv",
-        action="store_true",
-        help="emit sweep results as CSV instead of an aligned table",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="FILE",
+        help=(
+            "emit results as CSV instead of an aligned table; with a FILE "
+            "argument, write the CSV there (used by 'sweep' and 'export')"
+        ),
     )
     parser.add_argument(
         "--executor",
@@ -155,9 +173,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--db",
         help=(
-            "queue database path for the distributed executor and the 'workers' "
-            "command; omitting it gives 'sweep' a throwaway per-run queue"
+            "queue database path for the distributed executor and the 'workers', "
+            "'serve' and 'export' commands; omitting it gives 'sweep' a throwaway "
+            "per-run queue"
         ),
+    )
+    parser.add_argument(
+        "--broker",
+        metavar="URL",
+        help=(
+            "http(s)://host:port of a 'chronos-experiments serve' sweep service; "
+            "an alternative to --db for 'sweep' and 'workers' that needs no shared "
+            "filesystem (multi-host fleets)"
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface the 'serve' command binds (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8176,
+        help="port the 'serve' command listens on (default: 8176; 0 picks a free port)",
     )
     parser.add_argument(
         "--lease-timeout",
@@ -169,6 +208,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--exit-when-idle",
         action="store_true",
         help="make 'workers start' exit once the queue settles instead of polling forever",
+    )
+    parser.add_argument(
+        "--restarts",
+        type=int,
+        default=3,
+        help=(
+            "crashed fleet members 'workers start' may replace before giving up "
+            "(default: 3; 0 disables supervision restarts)"
+        ),
     )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     return parser
@@ -221,21 +269,102 @@ def run_sweep_command(args: argparse.Namespace) -> int:
         print(f"{path}: {error}", file=sys.stderr)
         return 2
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    result = sweep.run(
-        jobs=max(1, args.jobs),
-        cache=cache,
-        executor=args.executor,
-        workers=args.workers,
-        db=args.db,
-        lease_timeout=args.lease_timeout if args.executor == "distributed" else None,
+    distributed = args.executor == "distributed" or args.broker
+    from repro.service import ServiceError
+
+    try:
+        result = sweep.run(
+            jobs=max(1, args.jobs),
+            cache=cache,
+            executor=args.executor,
+            workers=args.workers,
+            db=args.db,
+            broker=args.broker,
+            lease_timeout=args.lease_timeout if distributed else None,
+        )
+    except ServiceError as error:
+        print(f"sweep service error: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        # e.g. a malformed --broker URL or conflicting --db/--broker
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    _emit_result(result, args.csv)
+    return 0
+
+
+def _emit_result(result: SweepResult, csv_option) -> None:
+    """Print a sweep result as table/CSV, or write CSV to a file path."""
+    if isinstance(csv_option, str):
+        Path(csv_option).write_text(result.to_csv())
+        print(f"wrote {len(result)} result row(s) to {csv_option}")
+    elif csv_option:
+        print(result.to_csv())
+    else:
+        print(result.to_text())
+
+
+def run_export_command(args: argparse.Namespace) -> int:
+    """Handle ``chronos-experiments export --db FILE --csv OUT``.
+
+    Dumps every result in a queue database's store as the same summary
+    rows ``sweep`` prints (``SweepResult.to_rows``) — the cheap, columnar
+    view of a finished distributed run.
+    """
+    from repro.distributed import SqliteResultStore, normalize_db_path
+
+    if not args.db:
+        print("export requires --db FILE (the queue database to read)", file=sys.stderr)
+        return 2
+    if not normalize_db_path(args.db).is_file():
+        print(f"export: no queue database at {args.db}", file=sys.stderr)
+        return 2
+    with SqliteResultStore(args.db) as store:
+        results = store.results()
+    outcome = SweepResult(
+        results=tuple(results), executed=0, cache_hits=len(results), wall_time_s=0.0
     )
-    print(result.to_csv() if args.csv else result.to_text())
+    # export is tabular by definition: CSV to stdout unless a file was given
+    _emit_result(outcome, args.csv if isinstance(args.csv, str) else True)
+    return 0
+
+
+def run_serve_command(args: argparse.Namespace) -> int:
+    """Handle ``chronos-experiments serve --db FILE --port N``.
+
+    Runs the HTTP broker front-end in the foreground until interrupted.
+    Remote fleets (``workers start --broker URL``) and sweeps (``sweep
+    --broker URL``) coordinate through it without sharing a filesystem.
+    """
+    from repro.distributed import LeasePolicy
+    from repro.service import make_server
+
+    if not args.db:
+        print("serve requires --db FILE (the queue database to serve)", file=sys.stderr)
+        return 2
+    policy = LeasePolicy(
+        timeout=args.lease_timeout, heartbeat_interval=args.lease_timeout / 4.0
+    )
+    server = make_server(args.db, host=args.host, port=args.port, policy=policy)
+    host, port = server.server_address[:2]
+    print(f"serving queue {args.db} at http://{host}:{port} (ctrl-c to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("stopping service", file=sys.stderr)
+    finally:
+        server.server_close()
     return 0
 
 
 def run_workers_command(args: argparse.Namespace) -> int:
-    """Handle ``chronos-experiments workers start|status|drain --db FILE``."""
-    from repro.distributed import Broker, LeasePolicy, WorkerConfig, WorkerPool
+    """Handle ``chronos-experiments workers start|status|drain``.
+
+    The queue target is ``--db FILE`` (local/shared-filesystem sqlite) or
+    ``--broker URL`` (a remote sweep service) — fleets behave identically
+    against either.
+    """
+    from repro.distributed import LeasePolicy, WorkerConfig, WorkerPool, open_broker
 
     actions = ("start", "status", "drain")
     action = args.experiments[1] if len(args.experiments) > 1 else None
@@ -246,19 +375,25 @@ def run_workers_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if not args.db:
-        print("workers requires --db FILE (the queue database)", file=sys.stderr)
+    target = args.broker or args.db
+    if not target:
+        print(
+            "workers requires --db FILE (queue database) or --broker URL (sweep service)",
+            file=sys.stderr,
+        )
         return 2
+    from repro.service import ServiceError
+
     policy = LeasePolicy(
         timeout=args.lease_timeout, heartbeat_interval=args.lease_timeout / 4.0
     )
-    broker = Broker(args.db, policy=policy)
+    broker = open_broker(target, policy=policy)
     try:
         if action == "drain":
             broker.drain()
             counts = broker.counts()
             print(
-                f"draining {args.db}: workers will exit once the "
+                f"draining {target}: workers will exit once the "
                 f"{counts['pending']} pending task(s) are picked up"
             )
             return 0
@@ -267,20 +402,29 @@ def run_workers_command(args: argparse.Namespace) -> int:
             return 0
         # start: run a worker fleet in the foreground until the queue is
         # drained (or settles, with --exit-when-idle), then report.
+        # Crashed members are replaced automatically, --restarts times.
         fleet = max(1, args.workers if args.workers is not None else 3)
         config = WorkerConfig(policy=policy, exit_when_idle=args.exit_when_idle)
-        pool = WorkerPool(args.db, workers=fleet, config=config)
-        print(f"starting {fleet} worker(s) on {args.db} (ctrl-c to stop)")
+        pool = WorkerPool(
+            target, workers=fleet, config=config, restart_budget=max(0, args.restarts)
+        )
+        print(f"starting {fleet} worker(s) on {target} (ctrl-c to stop)", flush=True)
         try:
             with pool:
                 while pool.alive_count() > 0:
-                    pool.reap(broker)
+                    for replacement in pool.supervise(broker):
+                        print(f"restarted crashed worker as {replacement}", flush=True)
                     time.sleep(0.2)
                 pool.join()
         except KeyboardInterrupt:
             print("stopping workers", file=sys.stderr)
+        if pool.restarts_used:
+            print(f"supervision: replaced {pool.restarts_used} crashed worker(s)")
         print(format_worker_status(broker.stats()))
         return 0
+    except ServiceError as error:
+        print(f"sweep service error: {error}", file=sys.stderr)
+        return 2
     finally:
         broker.close()
 
@@ -288,12 +432,27 @@ def run_workers_command(args: argparse.Namespace) -> int:
 def format_worker_status(stats: Dict[str, object]) -> str:
     """Render :meth:`repro.distributed.Broker.stats` as readable text."""
     tasks = stats["tasks"]
-    lines = [
-        f"queue: {stats['path']}",
-        "tasks: " + "  ".join(f"{state}={count}" for state, count in tasks.items()),
-        f"results: {stats['results']}",
-        f"draining: {'yes' if stats['draining'] else 'no'}",
-    ]
+    lines = [f"queue: {stats['path']}"]
+    if stats.get("url"):
+        lines.append(f"service: {stats['url']}")
+    lines.extend(
+        [
+            "tasks: " + "  ".join(f"{state}={count}" for state, count in tasks.items()),
+            f"results: {stats['results']}",
+            f"draining: {'yes' if stats['draining'] else 'no'}",
+        ]
+    )
+    leased = stats.get("leased") or []
+    if leased:
+        # Stuck leases are the thing operators look for: attempts climbing
+        # or an expiry in the past means a worker died with the task.
+        lines.append("leases:")
+        for item in leased:
+            lines.append(
+                f"  {item['fingerprint'][:12]}  worker={item['worker_id']}  "
+                f"attempt={item['attempts']}/{item['max_attempts']}  "
+                f"expires_in={item['expires_in_s']:.1f}s"
+            )
     workers = stats["workers"]
     if workers:
         lines.append("workers:")
@@ -321,13 +480,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_sweep_command(args)
     if args.experiments and args.experiments[0] == "workers":
         return run_workers_command(args)
+    if args.experiments and args.experiments[0] == "serve":
+        return run_serve_command(args)
+    if args.experiments and args.experiments[0] == "export":
+        return run_export_command(args)
     scale = ExperimentScale(args.scale)
     started = time.time()
     try:
-        if args.executor:
+        if args.executor or args.broker:
             # Reroute every run_specs call in the harnesses without
             # threading a parameter through each experiment.
-            set_default_executor(args.executor, workers=args.workers, db=args.db)
+            set_default_executor(
+                args.executor, workers=args.workers, db=args.db, broker=args.broker
+            )
         tables = run_experiments(
             args.experiments, scale=scale, seed=args.seed, jobs=max(1, args.jobs)
         )
@@ -335,7 +500,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(error, file=sys.stderr)
         return 2
     finally:
-        if args.executor:
+        if args.executor or args.broker:
             # main() may run in-process (tests, embedding callers): do not
             # leak the default onto unrelated later run_specs calls.
             set_default_executor(None)

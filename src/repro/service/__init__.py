@@ -1,0 +1,70 @@
+"""Multi-host sweep service: HTTP broker front-end and remote-worker clients.
+
+PR 2's distributed executor shares work through a sqlite file, which
+binds every worker to one filesystem.  This package puts a stdlib-only
+HTTP server in front of that database and gives every distributed piece
+an HTTP twin, so fleets on other hosts need nothing but a URL:
+
+- :func:`make_server` / :func:`serve` — a
+  :class:`~http.server.ThreadingHTTPServer` exposing every
+  :class:`~repro.distributed.Broker` and
+  :class:`~repro.distributed.SqliteResultStore` operation as
+  JSON-over-HTTP (``POST /rpc``, plus ``GET /healthz`` and
+  ``GET /status``).  The server is the only process touching sqlite.
+- :class:`HttpBroker` / :class:`HttpResultStore` — clients implementing
+  the same interfaces, so :class:`~repro.distributed.Worker`,
+  :class:`~repro.distributed.WorkerPool` and ``run_specs(...,
+  executor="distributed")`` run unchanged against a remote URL.
+
+One deployment, three commands::
+
+    chronos-experiments serve --db queue.sqlite --port 8176        # host A
+    chronos-experiments workers start --broker http://a:8176       # hosts B, C
+    chronos-experiments sweep --spec sweep.json --broker http://a:8176
+
+or in code::
+
+    from repro.api import Sweep
+    outcome = sweep.run(executor="distributed", broker="http://a:8176")
+
+Determinism makes the transport invisible: fingerprints and result
+payloads are byte-identical whether a sweep ran inline, on one machine,
+or across a fleet of hosts.
+"""
+
+from repro.service.client import HttpBroker, HttpResultStore, rpc_call
+from repro.service.protocol import (
+    HEALTH_PATH,
+    PROTOCOL_VERSION,
+    RPC_PATH,
+    STATUS_PATH,
+    ServiceError,
+)
+from repro.service.server import (
+    BrokerService,
+    ServiceHTTPServer,
+    ServiceRequestHandler,
+    UnknownMethodError,
+    make_server,
+    serve,
+)
+
+__all__ = [
+    # server
+    "BrokerService",
+    "ServiceHTTPServer",
+    "ServiceRequestHandler",
+    "UnknownMethodError",
+    "make_server",
+    "serve",
+    # clients
+    "HttpBroker",
+    "HttpResultStore",
+    "rpc_call",
+    # protocol
+    "ServiceError",
+    "RPC_PATH",
+    "HEALTH_PATH",
+    "STATUS_PATH",
+    "PROTOCOL_VERSION",
+]

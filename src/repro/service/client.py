@@ -1,0 +1,275 @@
+"""HTTP clients implementing the broker and result-store interfaces.
+
+:class:`HttpBroker` and :class:`HttpResultStore` present the same
+surface as :class:`~repro.distributed.Broker` and
+:class:`~repro.distributed.SqliteResultStore`, but every call is one
+``POST /rpc`` round trip to a :mod:`repro.service.server` — so
+:class:`~repro.distributed.Worker`, ``WorkerPool.supervise``,
+:func:`repro.distributed.execute` and the CLI run unchanged against a
+remote URL.
+
+Both clients are stateless between calls (plain ``urllib`` requests, no
+shared connection), which makes them thread safe: one instance can be
+shared by a worker loop and its heartbeat thread.  Transient transport
+errors surface as :class:`ServiceError`; the lease protocol is already
+built for missed beats, so callers treat them like any other lost
+heartbeat.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.api.facade import ScenarioResult
+from repro.distributed.broker import Task, TaskRecord
+from repro.distributed.leases import LeasePolicy
+from repro.service.protocol import (
+    RPC_PATH,
+    ServiceError,
+    policy_from_wire,
+    record_from_wire,
+    task_from_wire,
+)
+
+#: Seconds an RPC waits on the socket before failing.
+RPC_TIMEOUT_S = 30.0
+
+
+def rpc_call(
+    url: str,
+    method: str,
+    params: Optional[Dict[str, Any]] = None,
+    timeout: float = RPC_TIMEOUT_S,
+) -> Any:
+    """One ``POST /rpc`` round trip; returns the ``result`` field.
+
+    Raises :class:`ServiceError` on transport failures and on error
+    responses, with the server's message attached when there is one.
+    """
+    request = urllib.request.Request(
+        url.rstrip("/") + RPC_PATH,
+        data=json.dumps({"method": method, "params": params or {}}).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            body = json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        try:
+            detail = json.loads(error.read().decode("utf-8")).get("error", "")
+        except Exception:
+            detail = ""
+        raise ServiceError(
+            f"{method} failed: HTTP {error.code}" + (f" — {detail}" if detail else "")
+        ) from error
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        raise ServiceError(f"cannot reach sweep service at {url}: {error}") from error
+    if not isinstance(body, dict) or "result" not in body:
+        raise ServiceError(f"{method}: malformed response from {url}")
+    return body["result"]
+
+
+class HttpBroker:
+    """The :class:`~repro.distributed.Broker` interface over HTTP.
+
+    Lease timing is enforced by the *server* (it owns the database and
+    grants the leases); :attr:`policy` reports the server's policy so
+    clients can pace heartbeats to match.  The constructor's ``policy``
+    is only a local fallback used until the server has answered once.
+    """
+
+    def __init__(self, url: str, policy: Optional[LeasePolicy] = None):
+        self._url = url.rstrip("/")
+        self._fallback_policy = policy if policy is not None else LeasePolicy()
+        self._server_policy: Optional[LeasePolicy] = None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the sweep service."""
+        return self._url
+
+    @property
+    def policy(self) -> LeasePolicy:
+        """The server's lease policy (fetched once, then cached)."""
+        if self._server_policy is None:
+            try:
+                self._server_policy = policy_from_wire(self._call("policy"))
+            except ServiceError:
+                return self._fallback_policy
+        return self._server_policy
+
+    def _call(self, method: str, **params: Any) -> Any:
+        return rpc_call(self._url, method, params)
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def enqueue(self, payloads: Sequence[Dict[str, Any]], fingerprints: Sequence[str]) -> int:
+        if len(payloads) != len(fingerprints):
+            raise ValueError("payloads and fingerprints must have equal length")
+        return int(
+            self._call("enqueue", payloads=list(payloads), fingerprints=list(fingerprints))
+        )
+
+    def drain(self) -> None:
+        self._call("drain")
+
+    def is_draining(self) -> bool:
+        return bool(self._call("is_draining"))
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def claim(self, worker_id: str) -> Optional[Task]:
+        return task_from_wire(self._call("claim", worker_id=worker_id))
+
+    def claim_many(self, worker_id: str, limit: int) -> List[Task]:
+        if limit < 1:
+            raise ValueError("claim limit must be a positive integer")
+        wire = self._call("claim_many", worker_id=worker_id, limit=int(limit))
+        return [task_from_wire(item) for item in wire]
+
+    def heartbeat(self, fingerprint: str, worker_id: str) -> bool:
+        return bool(self._call("heartbeat", fingerprint=fingerprint, worker_id=worker_id))
+
+    def complete(self, fingerprint: str, worker_id: str, result_payload: Dict[str, Any]) -> None:
+        self._call(
+            "complete",
+            fingerprint=fingerprint,
+            worker_id=worker_id,
+            result_payload=result_payload,
+        )
+
+    def fail(self, fingerprint: str, worker_id: str, error: str) -> bool:
+        return bool(
+            self._call("fail", fingerprint=fingerprint, worker_id=worker_id, error=str(error))
+        )
+
+    def requeue_expired(self, now: Optional[float] = None) -> Tuple[int, int]:
+        # ``now`` is a local-testing affordance; the server's clock rules
+        # the wire, so it is deliberately not forwarded.
+        requeued, exhausted = self._call("requeue_expired")
+        return int(requeued), int(exhausted)
+
+    def release_worker(self, worker_id: str) -> Tuple[int, int]:
+        requeued, exhausted = self._call("release_worker", worker_id=worker_id)
+        return int(requeued), int(exhausted)
+
+    # ------------------------------------------------------------------
+    # Worker liveness
+    # ------------------------------------------------------------------
+    def register_worker(self, worker_id: str, pid: Optional[int] = None) -> None:
+        self._call(
+            "register_worker",
+            worker_id=worker_id,
+            pid=os.getpid() if pid is None else int(pid),
+        )
+
+    def touch_worker(self, worker_id: str) -> None:
+        self._call("touch_worker", worker_id=worker_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        return {state: int(count) for state, count in self._call("counts").items()}
+
+    def settled(self) -> bool:
+        return bool(self._call("settled"))
+
+    def task(self, fingerprint: str) -> Optional[TaskRecord]:
+        return record_from_wire(self._call("task", fingerprint=fingerprint))
+
+    def tasks(self, status: Optional[str] = None) -> List[TaskRecord]:
+        return [record_from_wire(item) for item in self._call("tasks", status=status)]
+
+    def failed_payloads(self) -> List[Tuple[str, Dict[str, Any], str]]:
+        return [
+            (str(fingerprint), dict(payload), str(error))
+            for fingerprint, payload, error in self._call("failed_payloads")
+        ]
+
+    def workers(self) -> List[Dict[str, Any]]:
+        return list(self._call("workers"))
+
+    def leased(self) -> List[Dict[str, Any]]:
+        return list(self._call("leased"))
+
+    def stats(self) -> Dict[str, Any]:
+        stats = dict(self._call("stats"))
+        stats["url"] = self._url  # where the answer came from, for status output
+        return stats
+
+    def close(self) -> None:
+        """Nothing to release: calls are independent requests."""
+
+    def __enter__(self) -> "HttpBroker":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class HttpResultStore:
+    """The :class:`~repro.distributed.SqliteResultStore` interface over HTTP.
+
+    Parsed results are memoized locally (like the sqlite store's memory
+    layer), so repeated ``get`` calls for collected fingerprints do not
+    re-fetch or re-parse.
+    """
+
+    def __init__(self, url: str):
+        self._url = url.rstrip("/")
+        self._memory: Dict[str, ScenarioResult] = {}
+
+    @property
+    def url(self) -> str:
+        """Base URL of the sweep service."""
+        return self._url
+
+    def _call(self, method: str, **params: Any) -> Any:
+        return rpc_call(self._url, method, params)
+
+    def get(self, fingerprint: str) -> Optional[ScenarioResult]:
+        if fingerprint in self._memory:
+            return self._memory[fingerprint]
+        payload = self._call("result_get", fingerprint=fingerprint)
+        if payload is None:
+            return None
+        try:
+            result = ScenarioResult.from_dict(payload)
+        except (ValueError, TypeError, KeyError):
+            return None  # corrupt row: treat as a miss, like the local stores
+        self._memory[fingerprint] = result
+        return result
+
+    def put(self, result: ScenarioResult, worker_id: Optional[str] = None) -> None:
+        self._memory[result.fingerprint] = result
+        self._call("result_put", payload=result.to_dict(), worker_id=worker_id)
+
+    def fingerprints(self) -> Set[str]:
+        return set(self._call("result_fingerprints"))
+
+    def clear(self) -> None:
+        """Drop the local memo (server rows are left alone)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return int(self._call("result_len"))
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return isinstance(fingerprint, str) and self.get(fingerprint) is not None
+
+    def close(self) -> None:
+        """Nothing to release: calls are independent requests."""
+
+    def __enter__(self) -> "HttpResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,249 @@
+"""The HTTP broker front-end: one process owning the queue database.
+
+:class:`BrokerService` wraps one :class:`~repro.distributed.Broker` and
+one :class:`~repro.distributed.SqliteResultStore` behind a method table;
+:func:`make_server` mounts it on a stdlib
+:class:`~http.server.ThreadingHTTPServer` speaking the JSON protocol of
+:mod:`repro.service.protocol`.  The server is the only process that
+touches the sqlite file, which is what makes the queue NFS-safe and
+multi-host: remote fleets and sweep drivers talk HTTP and never share a
+filesystem.
+
+Broker connections are not thread safe, so the service serializes every
+operation under one lock.  That is not the bottleneck it sounds like:
+each operation is a sub-millisecond sqlite transaction, the server
+threads only exist to overlap network I/O, and batch claims
+(``claim_many``) amortize the round trip for short scenarios.
+
+Run it from the CLI (``chronos-experiments serve --db queue.sqlite
+--port 8176``) or embed it::
+
+    server = make_server("queue.sqlite", port=0)   # port 0: pick a free one
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.distributed.broker import Broker
+from repro.distributed.leases import LeasePolicy
+from repro.distributed.store import SqliteResultStore, normalize_db_path
+from repro.service.protocol import (
+    HEALTH_PATH,
+    PROTOCOL_VERSION,
+    RPC_PATH,
+    STATUS_PATH,
+    policy_to_wire,
+    record_to_wire,
+    task_to_wire,
+)
+
+
+class UnknownMethodError(KeyError):
+    """The RPC body named a method the service does not export."""
+
+
+class BrokerService:
+    """Every queue and result-store operation, callable by wire name.
+
+    One instance per served database.  All methods take and return
+    JSON-native values only; the lock serializes access to the single
+    broker/store connection pair (sqlite brokers are not thread safe,
+    and ``ThreadingHTTPServer`` handles each request on its own thread).
+    """
+
+    def __init__(self, db: Union[str, Path], policy: Optional[LeasePolicy] = None):
+        self._db = normalize_db_path(db)
+        self._policy = policy if policy is not None else LeasePolicy()
+        self._lock = threading.Lock()
+        self._broker = Broker(self._db, policy=self._policy)
+        self._store = SqliteResultStore(self._db)
+        broker, store = self._broker, self._store
+        self._methods: Dict[str, Callable[..., Any]] = {
+            # producer side
+            "enqueue": broker.enqueue,
+            "drain": broker.drain,
+            "is_draining": broker.is_draining,
+            # consumer side
+            "claim": lambda worker_id: task_to_wire(broker.claim(worker_id)),
+            "claim_many": lambda worker_id, limit: [
+                task_to_wire(task) for task in broker.claim_many(worker_id, int(limit))
+            ],
+            "heartbeat": broker.heartbeat,
+            "complete": broker.complete,
+            "fail": broker.fail,
+            "requeue_expired": lambda: list(broker.requeue_expired()),
+            "release_worker": lambda worker_id: list(broker.release_worker(worker_id)),
+            # worker liveness (remote pid travels with the registration)
+            "register_worker": broker.register_worker,
+            "touch_worker": broker.touch_worker,
+            # introspection
+            "counts": broker.counts,
+            "settled": broker.settled,
+            "task": lambda fingerprint: record_to_wire(broker.task(fingerprint)),
+            "tasks": lambda status=None: [
+                record_to_wire(record) for record in broker.tasks(status)
+            ],
+            "failed_payloads": lambda: [list(item) for item in broker.failed_payloads()],
+            "workers": broker.workers,
+            "leased": broker.leased,
+            "stats": broker.stats,
+            "policy": lambda: policy_to_wire(self._policy),
+            # result store
+            "result_get": store.get_payload,
+            "result_put": lambda payload, worker_id=None: store.put_payload(
+                payload, worker_id=worker_id
+            ),
+            "result_fingerprints": lambda: sorted(store.fingerprints()),
+            "result_len": lambda: len(store),
+        }
+
+    @property
+    def db(self) -> Path:
+        """The served queue database."""
+        return self._db
+
+    @property
+    def policy(self) -> LeasePolicy:
+        """The lease policy claims are granted under."""
+        return self._policy
+
+    def methods(self) -> List[str]:
+        """Names of the exported RPC methods."""
+        return sorted(self._methods)
+
+    def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        """Invoke one method by wire name under the service lock."""
+        handler = self._methods.get(method)
+        if handler is None:
+            raise UnknownMethodError(method)
+        with self._lock:
+            return handler(**(params or {}))
+
+    def close(self) -> None:
+        """Release the underlying database connections."""
+        with self._lock:
+            self._broker.close()
+            self._store.close()
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server carrying its :class:`BrokerService`."""
+
+    daemon_threads = True
+    #: Tolerate a burst of fleet connections beyond the default backlog.
+    request_queue_size = 32
+
+    def __init__(self, address, handler, service: BrokerService):
+        self.service = service
+        super().__init__(address, handler)
+
+    def server_close(self) -> None:  # releases sqlite handles with the socket
+        super().server_close()
+        self.service.close()
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Dispatch ``POST /rpc`` bodies to the service; quiet by default."""
+
+    server_version = "chronos-sweep-service/1"
+    protocol_version = "HTTP/1.1"  # keep-alive; responses carry Content-Length
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
+        if self.path != RPC_PATH:
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length).decode("utf-8"))
+            method = body["method"]
+            params = body.get("params") or {}
+            if not isinstance(params, dict):
+                raise TypeError("params must be an object")
+        except Exception as error:
+            self._send_json(400, {"error": f"malformed RPC request: {error}"})
+            return
+        try:
+            result = self.server.service.call(method, params)
+        except UnknownMethodError:
+            self._send_json(
+                400,
+                {
+                    "error": f"unknown method {method!r}",
+                    "available": self.server.service.methods(),
+                },
+            )
+        except (TypeError, ValueError) as error:
+            self._send_json(400, {"error": f"{type(error).__name__}: {error}"})
+        except Exception as error:  # surface server faults, don't kill the thread
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+        else:
+            self._send_json(200, {"result": result})
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        if self.path == HEALTH_PATH:
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "protocol": PROTOCOL_VERSION,
+                    "db": str(self.server.service.db),
+                },
+            )
+        elif self.path == STATUS_PATH:
+            try:
+                self._send_json(200, self.server.service.call("stats"))
+            except Exception as error:
+                self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to salvage
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging off: workers poll, and stdout is the CLI's
+
+
+def make_server(
+    db: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 8176,
+    policy: Optional[LeasePolicy] = None,
+) -> ServiceHTTPServer:
+    """Build (but do not start) a service bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral free port; read the real one from
+    ``server.server_address[1]``.  Call ``serve_forever()`` to run and
+    ``shutdown()`` + ``server_close()`` to stop.
+    """
+    service = BrokerService(db, policy=policy)
+    return ServiceHTTPServer((host, port), ServiceRequestHandler, service)
+
+
+def serve(
+    db: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 8176,
+    policy: Optional[LeasePolicy] = None,
+) -> None:
+    """Blocking convenience wrapper: build a server and run it forever."""
+    server = make_server(db, host=host, port=port, policy=policy)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()

@@ -191,6 +191,48 @@ class TestLeaseExpiry:
         assert broker.task(spec.fingerprint()).status == "pending"
 
 
+class TestBatchClaims:
+    def test_claim_many_leases_up_to_limit_fifo(self, broker):
+        specs = [_tiny_spec(seed=s) for s in range(5)]
+        for spec in specs:  # separate enqueues => distinct FIFO timestamps
+            _enqueue(broker, [spec])
+        batch = broker.claim_many("w1", 3)
+        assert [task.fingerprint for task in batch] == [s.fingerprint() for s in specs[:3]]
+        assert all(task.lease.owner == "w1" for task in batch)
+        assert broker.counts() == {"pending": 2, "leased": 3, "done": 0, "failed": 0}
+
+    def test_claim_many_returns_partial_batch(self, broker):
+        _enqueue(broker, [_tiny_spec()])
+        batch = broker.claim_many("w1", 8)
+        assert len(batch) == 1
+        assert broker.claim_many("w2", 8) == []
+
+    def test_claim_many_rejects_bad_limit(self, broker):
+        with pytest.raises(ValueError):
+            broker.claim_many("w1", 0)
+
+    def test_claim_many_sweeps_expired_leases_first(self, broker):
+        specs = [_tiny_spec(seed=s) for s in range(2)]
+        _enqueue(broker, specs)
+        broker.claim_many("zombie", 2)
+        time.sleep(FAST.timeout + 0.05)
+        rescued = broker.claim_many("healthy", 2)
+        assert len(rescued) == 2
+        assert all(task.attempts == 2 for task in rescued)
+
+    def test_leased_detail_reports_attempts_and_expiry(self, broker):
+        spec = _tiny_spec()
+        _enqueue(broker, [spec])
+        broker.claim("w1")
+        (lease,) = broker.leased()
+        assert lease["worker_id"] == "w1"
+        assert lease["attempts"] == 1 and lease["max_attempts"] == FAST.max_attempts
+        assert 0 < lease["expires_in_s"] <= FAST.timeout
+        # stats() carries the same per-lease detail for `workers status`
+        (stats_lease,) = broker.stats()["leased"]
+        assert stats_lease["fingerprint"] == lease["fingerprint"]
+
+
 class TestLeaseKeeper:
     def test_keeper_renews_until_stopped(self):
         beats = []
@@ -307,3 +349,111 @@ class TestWorkerLoop:
             worker = Worker(db, config=WorkerConfig(policy=FAST, exit_when_idle=False))
             assert worker.run() == 0  # would poll forever without the drain flag
             worker.close()
+
+    def test_worker_batches_claims(self, db):
+        specs = [_tiny_spec(seed=s) for s in range(5)]
+        with Broker(db, policy=FAST) as broker:
+            _enqueue(broker, specs)
+            worker = Worker(db, config=WorkerConfig(policy=FAST, claim_batch=2))
+            assert worker.run() == 5
+            worker.close()
+            assert broker.counts()["done"] == 5
+
+    def test_claim_batch_capped_by_max_tasks(self, db):
+        specs = [_tiny_spec(seed=s) for s in range(4)]
+        with Broker(db, policy=FAST) as broker:
+            _enqueue(broker, specs)
+            worker = Worker(db, config=WorkerConfig(policy=FAST, claim_batch=8, max_tasks=2))
+            assert worker.run() == 2
+            worker.close()
+            # only two tasks were ever claimed: the rest are still pending,
+            # not leased-and-abandoned by an oversized batch
+            assert broker.counts() == {"pending": 2, "leased": 0, "done": 2, "failed": 0}
+
+    def test_claim_batch_validated(self):
+        with pytest.raises(ValueError):
+            WorkerConfig(claim_batch=0)
+
+    def test_worker_config_round_trips_claim_batch(self):
+        config = WorkerConfig(claim_batch=7, max_tasks=3)
+        assert WorkerConfig.from_dict(config.to_dict()) == config
+
+
+class TestSupervisedPool:
+    """WorkerPool service mode: crashed members are replaced, clean exits not."""
+
+    def _service_pool(self, db, budget):
+        from repro.distributed import WorkerPool
+
+        config = WorkerConfig(policy=FAST, exit_when_idle=False, poll_interval=0.02)
+        return WorkerPool(db, workers=1, config=config, restart_budget=budget)
+
+    def test_sigkilled_member_is_replaced_within_budget(self, db, broker):
+        import os
+        import signal
+
+        pool = self._service_pool(db, budget=2)
+        pool.start()
+        try:
+            original = pool.worker_ids[0]
+            victim = pool.processes[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=5.0)
+            deadline = time.monotonic() + 5.0
+            while not pool.restarts.copy() and time.monotonic() < deadline:
+                pool.supervise(broker)
+                time.sleep(0.02)
+            assert pool.restarts_used == 1
+            dead, replacement = pool.restarts[0]
+            assert dead == original and replacement != original
+            assert pool.worker_ids == [replacement]
+            assert pool.alive_count() == 1
+        finally:
+            pool.terminate()
+
+    def test_budget_bounds_restarts(self, db, broker):
+        import os
+        import signal
+
+        pool = self._service_pool(db, budget=1)
+        pool.start()
+        try:
+            # first kill: replaced (budget 1 -> 0)
+            os.kill(pool.processes[0].pid, signal.SIGKILL)
+            pool.processes[0].join(timeout=5.0)
+            deadline = time.monotonic() + 5.0
+            while pool.restarts_used == 0 and time.monotonic() < deadline:
+                pool.supervise(broker)
+                time.sleep(0.02)
+            assert pool.restarts_used == 1 and pool.alive_count() == 1
+            # second kill: budget spent, the fleet stays dead
+            os.kill(pool.processes[0].pid, signal.SIGKILL)
+            pool.processes[0].join(timeout=5.0)
+            for _ in range(10):
+                pool.supervise(broker)
+                time.sleep(0.02)
+            assert pool.restarts_used == 1
+            assert pool.alive_count() == 0
+        finally:
+            pool.terminate()
+
+    def test_clean_exit_is_not_restarted(self, db, broker):
+        from repro.distributed import WorkerPool
+
+        # exit_when_idle on an empty queue: the worker exits with code 0
+        config = WorkerConfig(policy=FAST, exit_when_idle=True, poll_interval=0.02)
+        pool = WorkerPool(db, workers=1, config=config, restart_budget=5)
+        pool.start()
+        try:
+            pool.join(timeout=10.0)
+            assert pool.supervise(broker) == []
+            assert pool.restarts_used == 0
+            assert pool.alive_count() == 0
+        finally:
+            pool.terminate()
+
+    def test_restart_budget_validated(self, db):
+        from repro.distributed import WorkerPool
+
+        with pytest.raises(ValueError):
+            WorkerPool(db, workers=1, restart_budget=-1)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from pathlib import Path
 
 import pytest
 
@@ -330,3 +331,194 @@ class TestDistributedCli:
         capsys.readouterr()
         assert main(["workers", "status", "--db", db]) == 0
         assert "draining: yes" in capsys.readouterr().out
+
+
+class TestServiceCli:
+    """CLI surface of the multi-host service: serve, --broker, export, status."""
+
+    def _sweep_file(self, tmp_path):
+        import json
+
+        payload = {
+            "base": {
+                "workload": {
+                    "kind": "benchmark",
+                    "params": {"name": "sort", "num_jobs": 3},
+                },
+                "strategy": "s-resume",
+                "strategy_params": {"tau_est": 30.0, "tau_kill": 60.0, "fixed_r": 1},
+                "cluster": {"num_nodes": 0},
+            },
+            "grid": {"strategy": ["hadoop-ns", "s-resume"], "seed": [0, 1]},
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    @pytest.fixture
+    def service_url(self, tmp_path):
+        import threading
+
+        from repro.service import make_server
+
+        server = make_server(tmp_path / "queue.sqlite", host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield f"http://127.0.0.1:{server.server_address[1]}"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+    def test_parser_accepts_service_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--db", "q.sqlite", "--host", "0.0.0.0", "--port", "9000"]
+        )
+        assert args.host == "0.0.0.0" and args.port == 9000
+        args = build_parser().parse_args(
+            ["workers", "start", "--broker", "http://h:1", "--restarts", "5"]
+        )
+        assert args.broker == "http://h:1" and args.restarts == 5
+        # --csv keeps working as a bare flag and now accepts a file too
+        assert build_parser().parse_args(["sweep", "--csv"]).csv is True
+        assert build_parser().parse_args(["sweep", "--csv", "o.csv"]).csv == "o.csv"
+        assert build_parser().parse_args(["sweep"]).csv is False
+
+    def test_serve_requires_db(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--db" in capsys.readouterr().err
+
+    def test_sweep_unreachable_broker_is_a_diagnostic(self, tmp_path, capsys):
+        """Transport failures exit 2 with a message, not a traceback."""
+        path = self._sweep_file(tmp_path)
+        assert main(["sweep", "--spec", str(path), "--broker", "http://127.0.0.1:9"]) == 2
+        assert "cannot reach sweep service" in capsys.readouterr().err
+
+    def test_sweep_rejects_non_http_broker(self, tmp_path, capsys):
+        path = self._sweep_file(tmp_path)
+        assert main(["sweep", "--spec", str(path), "--broker", "ftp://x"]) == 2
+        assert "http(s)://" in capsys.readouterr().err
+
+    def test_sweep_rejects_both_targets(self, tmp_path, capsys):
+        path = self._sweep_file(tmp_path)
+        argv = ["sweep", "--spec", str(path), "--broker", "http://127.0.0.1:9",
+                "--db", str(tmp_path / "q.sqlite")]
+        assert main(argv) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_workers_status_unreachable_broker_is_a_diagnostic(self, capsys):
+        assert main(["workers", "status", "--broker", "http://127.0.0.1:9"]) == 2
+        assert "cannot reach sweep service" in capsys.readouterr().err
+
+    def test_sweep_and_rerun_through_broker_url(self, tmp_path, capsys, service_url):
+        path = self._sweep_file(tmp_path)
+        argv = ["sweep", "--spec", str(path), "--broker", service_url, "--workers", "2"]
+        assert main(argv) == 0
+        assert "4 scenarios: 4 executed" in capsys.readouterr().out
+        # the zero-execution re-run, answered by the service's store
+        assert main(argv) == 0
+        assert "0 executed, 4 cache hits" in capsys.readouterr().out
+
+    def test_workers_status_and_drain_through_broker_url(self, capsys, service_url):
+        assert main(["workers", "status", "--broker", service_url]) == 0
+        out = capsys.readouterr().out
+        assert f"service: {service_url}" in out
+        assert "pending=0" in out
+        assert main(["workers", "drain", "--broker", service_url]) == 0
+        capsys.readouterr()
+        assert main(["workers", "status", "--broker", service_url]) == 0
+        assert "draining: yes" in capsys.readouterr().out
+
+    def test_status_shows_stuck_lease_detail(self, tmp_path, capsys):
+        from repro.api import ScenarioSpec
+        from repro.distributed import Broker
+
+        spec = ScenarioSpec(
+            workload={"kind": "benchmark", "params": {"name": "sort", "num_jobs": 3}},
+            strategy="s-resume",
+            cluster={"num_nodes": 0},
+        )
+        db = str(tmp_path / "queue.sqlite")
+        with Broker(db) as broker:
+            broker.enqueue([spec.to_dict()], [spec.fingerprint()])
+            broker.claim("wedged-worker")
+        assert main(["workers", "status", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "leases:" in out
+        assert "worker=wedged-worker" in out
+        assert "attempt=1/3" in out
+        assert "expires_in=" in out
+
+    def test_export_writes_result_store_csv(self, tmp_path, capsys):
+        path = self._sweep_file(tmp_path)
+        db = str(tmp_path / "queue.sqlite")
+        assert main(
+            ["sweep", "--spec", str(path), "--executor", "distributed",
+             "--workers", "2", "--db", db]
+        ) == 0
+        capsys.readouterr()
+        out_csv = tmp_path / "results.csv"
+        assert main(["export", "--db", db, "--csv", str(out_csv)]) == 0
+        assert "wrote 4 result row(s)" in capsys.readouterr().out
+        lines = out_csv.read_text().strip().splitlines()
+        assert lines[0].startswith("fingerprint,workload,strategy")
+        assert len(lines) == 5  # header + 4 scenarios
+        assert sum(line.count("hadoop-ns") for line in lines) == 2
+        # without a file, the CSV goes to stdout
+        assert main(["export", "--db", db]) == 0
+        stdout_lines = capsys.readouterr().out.strip().splitlines()
+        assert stdout_lines[0] == lines[0]
+        assert len(stdout_lines) == 5
+
+    def test_export_requires_db(self, tmp_path, capsys):
+        assert main(["export"]) == 2
+        assert "--db" in capsys.readouterr().err
+        assert main(["export", "--db", str(tmp_path / "missing.sqlite")]) == 2
+        assert "no queue database" in capsys.readouterr().err
+
+    def test_export_missing_db_with_sqlite_prefix_is_still_an_error(self, tmp_path, capsys):
+        """Regression: `sqlite:` must not bypass the existence check and
+        silently create an empty database."""
+        missing = tmp_path / "typo.sqlite"
+        assert main(["export", "--db", f"sqlite:{missing}"]) == 2
+        assert "no queue database" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_sweep_csv_to_file(self, tmp_path, capsys):
+        path = self._sweep_file(tmp_path)
+        out_csv = tmp_path / "sweep.csv"
+        assert main(["sweep", "--spec", str(path), "--csv", str(out_csv)]) == 0
+        assert "wrote 4 result row(s)" in capsys.readouterr().out
+        assert len(out_csv.read_text().strip().splitlines()) == 5
+
+    def test_serve_subprocess_end_to_end(self, tmp_path):
+        """The acceptance smoke: a real `serve` process, driven over HTTP."""
+        import os
+        import re
+        import subprocess
+        import sys
+
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments.cli", "serve",
+             "--db", str(tmp_path / "queue.sqlite"), "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            line = process.stdout.readline()
+            match = re.search(r"http://[\d.]+:\d+", line)
+            assert match, f"serve did not announce its URL: {line!r}"
+            url = match.group(0)
+            path = self._sweep_file(tmp_path)
+            argv = ["sweep", "--spec", str(path), "--broker", url, "--workers", "2"]
+            assert main(argv) == 0
+            assert main(["workers", "status", "--broker", url]) == 0
+        finally:
+            process.terminate()
+            process.wait(timeout=10.0)
