@@ -35,7 +35,15 @@ from repro.distributed.executor import default_db_path, execute
 from repro.distributed.leases import Lease, LeaseKeeper, LeasePolicy
 from repro.distributed.store import SqliteResultStore, connect, normalize_db_path
 from repro.distributed.targets import is_service_url, open_broker, open_store
-from repro.distributed.worker import Worker, WorkerConfig, WorkerPool, make_worker_id, worker_main
+from repro.distributed.worker import (
+    RestartPolicy,
+    RestartRateLimiter,
+    Worker,
+    WorkerConfig,
+    WorkerPool,
+    make_worker_id,
+    worker_main,
+)
 
 __all__ = [
     # queue
@@ -51,6 +59,8 @@ __all__ = [
     "Worker",
     "WorkerConfig",
     "WorkerPool",
+    "RestartPolicy",
+    "RestartRateLimiter",
     "worker_main",
     "make_worker_id",
     # results

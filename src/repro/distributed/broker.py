@@ -279,13 +279,29 @@ class Broker:
             )
         return bool(cursor.rowcount)
 
-    def requeue_expired(self, now: Optional[float] = None) -> Tuple[int, int]:
+    def requeue_expired(
+        self, now: Optional[float] = None, dry_run: bool = False
+    ) -> Tuple[int, int]:
         """Sweep expired leases: requeue what has attempts left, fail the rest.
 
         Returns ``(requeued, exhausted)`` counts.  Safe to call from any
         process at any time; claims do this implicitly.
+
+        With ``dry_run=True`` nothing is mutated: the same counts are
+        computed from a read-only query, answering "what would a sweep at
+        time ``now`` do?" — the lease-debugging question behind
+        ``workers status --expiring``, which also works over HTTP because
+        the service forwards both arguments.
         """
         now = time.time() if now is None else now
+        if dry_run:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS expired, "
+                "COALESCE(SUM(attempts >= max_attempts), 0) AS exhausted "
+                "FROM tasks WHERE status = 'leased' AND lease_expires_at < ?",
+                (now,),
+            ).fetchone()
+            return int(row["expired"]) - int(row["exhausted"]), int(row["exhausted"])
         with self._conn:
             self._conn.execute("BEGIN IMMEDIATE")
             return self._sweep_expired_locked(now)

@@ -15,6 +15,15 @@ so :class:`~repro.distributed.worker.Worker`, ``WorkerPool`` and the
 sweep executor run unchanged against either transport.  The service
 client is imported lazily: plain sqlite topologies never load the HTTP
 machinery.
+
+Credentials ride with the target rather than with the call tree: a
+secured service (bearer token, TLS) is reached by passing ``token=`` /
+``cafile=`` / ``verify=`` here, or — the way fleets actually do it — by
+exporting ``CHRONOS_TOKEN`` (and ``CHRONOS_CAFILE`` for a self-signed
+cert) and letting every process in the tree, including spawned workers,
+pick them up from the environment (see
+:class:`repro.service.security.Credentials`).  Sqlite targets ignore
+all three.
 """
 
 from __future__ import annotations
@@ -33,25 +42,44 @@ def is_service_url(target: Union[str, Path]) -> bool:
     return text.startswith("http://") or text.startswith("https://")
 
 
-def open_broker(target: Union[str, Path], policy: Optional[LeasePolicy] = None):
+def open_broker(
+    target: Union[str, Path],
+    policy: Optional[LeasePolicy] = None,
+    *,
+    token: Optional[str] = None,
+    cafile: Optional[str] = None,
+    verify: Optional[bool] = None,
+):
     """A broker for a queue target: sqlite-backed or HTTP, same interface.
 
     For service URLs the returned :class:`~repro.service.HttpBroker`'s
     lease timing is governed by the *server's* policy (it owns the
     database); the ``policy`` argument only seeds the client-side default
-    used before the server has been asked.
+    used before the server has been asked.  ``token``/``cafile``/
+    ``verify`` authenticate against a secured service, each falling back
+    to its environment variable (``CHRONOS_TOKEN`` etc.) when ``None``;
+    sqlite targets ignore them.
     """
     if is_service_url(target):
         from repro.service import HttpBroker
 
-        return HttpBroker(str(target), policy=policy)
+        return HttpBroker(str(target), policy=policy, token=token, cafile=cafile, verify=verify)
     return Broker(normalize_db_path(target), policy=policy)
 
 
-def open_store(target: Union[str, Path]):
-    """A result store for a queue target (sqlite-backed or HTTP)."""
+def open_store(
+    target: Union[str, Path],
+    *,
+    token: Optional[str] = None,
+    cafile: Optional[str] = None,
+    verify: Optional[bool] = None,
+):
+    """A result store for a queue target (sqlite-backed or HTTP).
+
+    Credential kwargs behave exactly as in :func:`open_broker`.
+    """
     if is_service_url(target):
         from repro.service import HttpResultStore
 
-        return HttpResultStore(str(target))
+        return HttpResultStore(str(target), token=token, cafile=cafile, verify=verify)
     return SqliteResultStore(normalize_db_path(target))

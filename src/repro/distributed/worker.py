@@ -16,9 +16,12 @@ of a :mod:`repro.service` broker front-end (multi-host fleets) — see
 level, so it works under both ``fork`` and ``spawn`` start methods), and
 :class:`WorkerPool` spawns and supervises N such processes from a parent
 — the shape the sweep executor and the ``chronos-experiments workers``
-CLI both use.  With a ``restart_budget`` the pool is a *supervised
+CLI both use.  With a :class:`RestartPolicy` the pool is a *supervised
 fleet*: members that die abnormally are replaced automatically (clean
-exits — drained queue, ``max_tasks`` recycling — are not).
+exits — drained queue, ``max_tasks`` recycling — are not), but under a
+per-member token bucket with exponential backoff rather than a flat
+budget, so one crash-looping member slows down instead of burning the
+fleet's whole allowance in seconds.
 """
 
 from __future__ import annotations
@@ -117,12 +120,16 @@ class Worker:
         self._broker = open_broker(self._target, policy=self.config.policy)
         # Over HTTP, a dropped request is recoverable (the lease protocol
         # already tolerates gaps); over sqlite any error is a local fault.
+        # Rejected credentials are the opposite of transient: a bad token
+        # never fixes itself, so retrying would just hammer the server.
         if is_service_url(self._target):
-            from repro.service.protocol import ServiceError
+            from repro.service.protocol import ServiceAuthError, ServiceError
 
             self._transient_errors: Tuple[type, ...] = (ServiceError,)
+            self._fatal_errors: Tuple[type, ...] = (ServiceAuthError,)
         else:
             self._transient_errors = ()
+            self._fatal_errors = ()
         # Lazily-created second broker used only by the heartbeat thread
         # (sqlite Broker instances are not thread safe); one long-lived
         # connection rather than a fresh one per task.  HttpBroker *is*
@@ -139,6 +146,9 @@ class Worker:
         dropped request) are retried with backoff up to
         :data:`TRANSIENT_RETRY_LIMIT` consecutive failures — a lease lost
         to a failed ``complete`` simply expires and the task is redone.
+        Authentication rejections
+        (:class:`~repro.service.protocol.ServiceAuthError`) are raised
+        immediately: credentials do not heal with retries.
         """
         transient_failures = 0
         registered = False
@@ -164,6 +174,8 @@ class Worker:
                     continue
                 self._execute_batch(tasks)
                 transient_failures = 0
+            except self._fatal_errors:
+                raise
             except self._transient_errors:
                 transient_failures += 1
                 if transient_failures > TRANSIENT_RETRY_LIMIT:
@@ -261,6 +273,110 @@ def worker_main(
         worker.close()
 
 
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Rate limits for supervised fleet restarts.
+
+    PR 3's flat per-pool ``restart_budget`` treated one crash-looping
+    member and three independent crashes the same way: both drained the
+    budget and left the fleet unsupervised.  This policy replaces it with
+    a *token bucket per member slot* plus *exponential backoff on crash
+    loops*:
+
+    - every member slot starts with ``burst`` restart tokens and regains
+      one every ``refill_s`` seconds (capped at ``burst``), so isolated
+      crashes are always healed but a slot can never consume more than
+      ``burst + elapsed / refill_s`` restarts;
+    - consecutive crashes of one slot push its next restart out by
+      ``backoff_s * backoff_factor**(n-1)`` seconds (capped at
+      ``backoff_max_s``), so a scenario that kills its worker on sight
+      turns into a slow, bounded trickle instead of a hot loop;
+    - a member that stays up for ``stable_s`` seconds before dying is
+      considered recovered: its crash streak (and backoff) resets.
+
+    ``burst=0`` disables supervision restarts entirely.
+    """
+
+    burst: int = 3
+    refill_s: float = 30.0
+    backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+    stable_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.burst < 0:
+            raise ValueError("burst must be non-negative")
+        if self.refill_s <= 0 or self.backoff_s <= 0 or self.stable_s <= 0:
+            raise ValueError("refill_s, backoff_s and stable_s must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_max_s < self.backoff_s:
+            raise ValueError("backoff_max_s must be >= backoff_s")
+
+    def backoff_for(self, streak: int) -> float:
+        """Seconds the ``streak``-th consecutive crash delays the restart."""
+        if streak < 1:
+            return 0.0
+        return min(self.backoff_s * self.backoff_factor ** (streak - 1), self.backoff_max_s)
+
+
+class RestartRateLimiter:
+    """Token bucket + backoff bookkeeping behind :meth:`WorkerPool.supervise`.
+
+    One bucket per member *slot* (the slot keeps its identity across
+    replacements, so a crash loop cannot reset its own limiter by dying
+    under a fresh worker id).  Deliberately clock-agnostic: every method
+    takes ``now`` (monotonic seconds), which makes crash-loop behaviour
+    unit-testable without real sleeps.
+    """
+
+    @dataclass
+    class _Slot:
+        tokens: float
+        refilled_at: float
+        streak: int = 0
+        not_before: float = 0.0
+
+    def __init__(self, policy: RestartPolicy):
+        self.policy = policy
+        self._slots: Dict[int, RestartRateLimiter._Slot] = {}
+
+    def _slot(self, slot: int, now: float) -> "RestartRateLimiter._Slot":
+        state = self._slots.get(slot)
+        if state is None:
+            state = self._Slot(tokens=float(self.policy.burst), refilled_at=now)
+            self._slots[slot] = state
+        return state
+
+    def note_crash(self, slot: int, now: float, uptime: Optional[float] = None) -> None:
+        """Record an abnormal exit; a stable run first resets the streak."""
+        state = self._slot(slot, now)
+        if uptime is not None and uptime >= self.policy.stable_s:
+            state.streak = 0
+
+    def try_acquire(self, slot: int, now: float) -> bool:
+        """Take one restart token for ``slot`` if the limiter allows it.
+
+        On success the slot's crash streak grows and the *next* restart
+        is pushed out by the streak's backoff; on refusal nothing
+        changes and the caller simply asks again on a later pass.
+        """
+        state = self._slot(slot, now)
+        self._refill(state, now)
+        if state.tokens < 1.0 or now < state.not_before:
+            return False
+        state.tokens -= 1.0
+        state.streak += 1
+        state.not_before = now + self.policy.backoff_for(state.streak)
+        return True
+
+    def _refill(self, state: "RestartRateLimiter._Slot", now: float) -> None:
+        elapsed = max(0.0, now - state.refilled_at)
+        state.tokens = min(float(self.policy.burst), state.tokens + elapsed / self.policy.refill_s)
+        state.refilled_at = now
+
+
 class WorkerPool:
     """N worker processes sharing one queue target.
 
@@ -270,12 +386,14 @@ class WorkerPool:
     out the lease timeout — workers that died *without* a supervising
     parent are still recovered by lease expiry.
 
-    With ``restart_budget > 0`` the pool runs as a *supervised fleet*:
+    With a ``restart_policy`` the pool runs as a *supervised fleet*:
     :meth:`supervise` replaces members that died abnormally (nonzero
-    exit code — a crash, OOM kill or SIGKILL) with fresh processes, up
-    to the budget, so a long-lived service fleet heals itself without
-    operator action.  Clean exits (drained queue, ``max_tasks``
-    recycling, settled idle queue) are never restarted.
+    exit code — a crash, OOM kill or SIGKILL) with fresh processes,
+    rate-limited per member slot by a :class:`RestartPolicy` token
+    bucket with exponential backoff, so a long-lived service fleet heals
+    itself without operator action and a crash loop cannot spin hot.
+    Clean exits (drained queue, ``max_tasks`` recycling, settled idle
+    queue) are never restarted.
     """
 
     def __init__(
@@ -284,20 +402,30 @@ class WorkerPool:
         workers: int,
         config: Optional[WorkerConfig] = None,
         id_prefix: str = "worker",
-        restart_budget: int = 0,
+        restart_policy: Optional[RestartPolicy] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be a positive integer")
-        if restart_budget < 0:
-            raise ValueError("restart_budget must be non-negative")
         self._target = str(target)
         self._config = config if config is not None else WorkerConfig()
         self._context = multiprocessing.get_context()
         self._id_prefix = id_prefix
-        self.restart_budget = restart_budget
+        self.restart_policy = restart_policy
+        self._limiter = (
+            RestartRateLimiter(restart_policy)
+            if restart_policy is not None and restart_policy.burst > 0
+            else None
+        )
         self.restarts: List[Tuple[str, str]] = []  # (dead worker id, replacement id)
         self.worker_ids = [f"{id_prefix}-{uuid.uuid4().hex[:8]}" for _ in range(workers)]
+        #: Member slot of each worker id: the slot survives replacement,
+        #: so rate limiting follows the seat, not the (fresh) identity.
+        self._slot_of: Dict[str, int] = {
+            worker_id: slot for slot, worker_id in enumerate(self.worker_ids)
+        }
         self._processes: Dict[str, multiprocessing.process.BaseProcess] = {}
+        self._spawned_at: Dict[str, float] = {}
+        self._awaiting_restart: Dict[str, int] = {}  # dead worker id -> slot
         self._reaped: set = set()
 
     def start(self) -> "WorkerPool":
@@ -315,6 +443,7 @@ class WorkerPool:
             daemon=True,
         )
         process.start()
+        self._spawned_at[worker_id] = time.monotonic()
         return process
 
     @property
@@ -346,34 +475,57 @@ class WorkerPool:
 
         The replacement gets a new worker identity — worker ids are
         lease owners, and reusing a dead worker's id would let its stale
-        leases outlive the crash accounting.
+        leases outlive the crash accounting — but inherits the member's
+        *slot*, so per-slot rate limiting follows the seat.
         """
         if worker_id not in self._processes:
             raise KeyError(f"unknown worker {worker_id!r}")
         replacement = f"{self._id_prefix}-{uuid.uuid4().hex[:8]}"
         self.worker_ids[self.worker_ids.index(worker_id)] = replacement
+        self._slot_of[replacement] = self._slot_of.pop(worker_id)
         del self._processes[worker_id]
+        self._spawned_at.pop(worker_id, None)
         self._processes[replacement] = self._spawn(replacement)
         self.restarts.append((worker_id, replacement))
         return replacement
 
-    def supervise(self, broker) -> List[str]:
-        """One supervision pass: reap the dead, restart the crashed.
+    def pending_restarts(self) -> List[str]:
+        """Dead members waiting for the rate limiter to allow a restart."""
+        return list(self._awaiting_restart)
+
+    def supervise(self, broker, now: Optional[float] = None) -> List[str]:
+        """One supervision pass: reap the dead, restart what the limiter allows.
 
         Releases leases of every newly-dead worker (via :meth:`reap`),
-        then — while the restart budget lasts — replaces the ones that
-        exited abnormally.  Returns the replacement worker ids spawned
-        this pass.  Call it periodically from the owning loop; it is
-        cheap when nothing died.
+        then replaces the ones that exited abnormally — each restart
+        gated by the :class:`RestartPolicy` token bucket of its member
+        slot.  A member the limiter holds back stays *pending*: later
+        passes retry it once its backoff elapses or its bucket refills,
+        so a crash loop slows down instead of exhausting a budget and
+        going unsupervised.  Returns the replacement worker ids spawned
+        this pass.  ``now`` (monotonic seconds) is injectable for tests;
+        call the method periodically from the owning loop — it is cheap
+        when nothing died.
         """
-        replacements: List[str] = []
+        now = time.monotonic() if now is None else now
         for worker_id in self.reap(broker):
             process = self._processes[worker_id]
             if process.exitcode == 0:
                 continue  # clean exit: drained, recycled or idle
-            if self.restarts_used >= self.restart_budget:
-                continue  # budget exhausted: leave it dead, leases released
-            replacements.append(self.restart(worker_id))
+            if self._limiter is None:
+                continue  # supervision restarts disabled
+            spawned_at = self._spawned_at.get(worker_id)
+            self._limiter.note_crash(
+                self._slot_of[worker_id],
+                now,
+                uptime=None if spawned_at is None else now - spawned_at,
+            )
+            self._awaiting_restart[worker_id] = self._slot_of[worker_id]
+        replacements: List[str] = []
+        for worker_id, slot in list(self._awaiting_restart.items()):
+            if self._limiter is not None and self._limiter.try_acquire(slot, now):
+                del self._awaiting_restart[worker_id]
+                replacements.append(self.restart(worker_id))
         return replacements
 
     def join(self, timeout: Optional[float] = None) -> None:

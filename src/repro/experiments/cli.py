@@ -15,6 +15,11 @@ Installed as ``chronos-experiments``.  Examples::
     chronos-experiments workers start --broker http://host:8176 --workers 4
     chronos-experiments sweep --spec sweep.json --broker http://host:8176
     chronos-experiments export --db queue.sqlite --csv results.csv
+    chronos-experiments serve --db queue.sqlite --token SECRET \
+        --certfile cert.pem --keyfile key.pem
+    chronos-experiments sweep --spec sweep.json --broker https://host:8176 \
+        --token SECRET --cafile cert.pem
+    chronos-experiments workers status --broker https://host:8176 --expiring
 
 The ``sweep`` command runs a declarative scenario sweep from a JSON file
 of the form::
@@ -41,12 +46,20 @@ automatically), ``status`` prints queue/lease/worker state, and
 
 ``serve`` runs the HTTP broker front-end that makes multi-host fleets
 possible, and ``export`` dumps a queue database's result store as CSV.
+
+Security flows through the environment: ``--token``/``--cafile`` (or the
+``CHRONOS_TOKEN``/``CHRONOS_CAFILE`` variables they export) authenticate
+every client command — ``sweep``, ``workers``, the harnesses — against a
+service started with ``serve --token … --certfile … --keyfile …``, and
+spawned worker processes inherit the credentials automatically.
+Rejected credentials are an exit-2 diagnostic, never a retry loop.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -188,6 +201,38 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--token",
+        metavar="SECRET",
+        help=(
+            "bearer token: required of clients by 'serve', sent by 'sweep', 'workers' "
+            "and the harnesses (default: the CHRONOS_TOKEN environment variable)"
+        ),
+    )
+    parser.add_argument(
+        "--certfile",
+        metavar="PEM",
+        help="TLS certificate for 'serve'; makes the service an https:// target",
+    )
+    parser.add_argument(
+        "--keyfile",
+        metavar="PEM",
+        help="TLS private key for 'serve' (omit if the key is inside --certfile)",
+    )
+    parser.add_argument(
+        "--cafile",
+        metavar="PEM",
+        help=(
+            "CA bundle client commands verify an https:// --broker against — for a "
+            "self-signed deployment, the server's certificate itself (default: the "
+            "CHRONOS_CAFILE environment variable, then the system trust store)"
+        ),
+    )
+    parser.add_argument(
+        "--insecure",
+        action="store_true",
+        help="skip TLS certificate verification of an https:// --broker (testing only)",
+    )
+    parser.add_argument(
         "--host",
         default="127.0.0.1",
         help="interface the 'serve' command binds (default: 127.0.0.1)",
@@ -214,8 +259,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help=(
-            "crashed fleet members 'workers start' may replace before giving up "
-            "(default: 3; 0 disables supervision restarts)"
+            "restart tokens per fleet member: crashed members are replaced under a "
+            "token bucket (one token back every --restart-refill seconds) with "
+            "exponential backoff on crash loops (default: 3; 0 disables restarts)"
+        ),
+    )
+    parser.add_argument(
+        "--restart-refill",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds for a fleet member to regain one restart token (default: 30)",
+    )
+    parser.add_argument(
+        "--expiring",
+        action="store_true",
+        help=(
+            "make 'workers status' also report what a lease sweep would do right now "
+            "(dry run — nothing is requeued), for debugging stuck leases remotely"
         ),
     )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
@@ -236,6 +297,45 @@ def run_experiments(
     for name in selected:
         tables.extend(_tables_of(EXPERIMENTS[name](scale=scale, seed=seed, jobs=jobs)))
     return tables
+
+
+def apply_security_args(args: argparse.Namespace) -> Dict[str, Optional[str]]:
+    """Export ``--token``/``--cafile``/``--insecure`` into the environment.
+
+    The credential environment (``CHRONOS_TOKEN`` and friends) is the
+    one channel every layer already reads — ``open_broker``/``open_store``
+    resolve it per connection, and spawned worker processes inherit it —
+    so exporting the flags here secures the whole command, local fleets
+    included, without threading parameters through the sweep API.
+
+    Returns the previous values of the touched variables so ``main`` can
+    restore them: in-process callers (tests, embedders) must not leak one
+    command's credentials onto the next.
+    """
+    if not (args.token or args.cafile or args.insecure):
+        return {}  # nothing to export — and sqlite-only commands stay
+        # clear of the HTTP/TLS machinery entirely (lazy-import contract)
+    from repro.service import CAFILE_ENV, TOKEN_ENV, VERIFY_ENV
+
+    desired: Dict[str, str] = {}
+    if args.token:
+        desired[TOKEN_ENV] = args.token
+    if args.cafile:
+        desired[CAFILE_ENV] = args.cafile
+    if args.insecure:
+        desired[VERIFY_ENV] = "0"
+    previous = {key: os.environ.get(key) for key in desired}
+    os.environ.update(desired)
+    return previous
+
+
+def restore_environment(previous: Dict[str, Optional[str]]) -> None:
+    """Undo :func:`apply_security_args` (None means "was unset")."""
+    for key, value in previous.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
 
 
 def run_sweep_command(args: argparse.Namespace) -> int:
@@ -270,7 +370,7 @@ def run_sweep_command(args: argparse.Namespace) -> int:
         return 2
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     distributed = args.executor == "distributed" or args.broker
-    from repro.service import ServiceError
+    from repro.service import ServiceAuthError, ServiceError
 
     try:
         result = sweep.run(
@@ -282,6 +382,9 @@ def run_sweep_command(args: argparse.Namespace) -> int:
             broker=args.broker,
             lease_timeout=args.lease_timeout if distributed else None,
         )
+    except ServiceAuthError as error:
+        print(f"sweep service authentication failed: {error}", file=sys.stderr)
+        return 2
     except ServiceError as error:
         print(f"sweep service error: {error}", file=sys.stderr)
         return 2
@@ -335,19 +438,44 @@ def run_serve_command(args: argparse.Namespace) -> int:
     Runs the HTTP broker front-end in the foreground until interrupted.
     Remote fleets (``workers start --broker URL``) and sweeps (``sweep
     --broker URL``) coordinate through it without sharing a filesystem.
+
+    ``--token`` (or ``CHRONOS_TOKEN``) requires a bearer token of every
+    client; ``--certfile``/``--keyfile`` serve over TLS, making the
+    service an ``https://`` target.
     """
     from repro.distributed import LeasePolicy
-    from repro.service import make_server
+    from repro.service import TOKEN_ENV, make_server
 
     if not args.db:
         print("serve requires --db FILE (the queue database to serve)", file=sys.stderr)
         return 2
+    if args.keyfile and not args.certfile:
+        print("serve: --keyfile requires --certfile (the certificate to serve)", file=sys.stderr)
+        return 2
     policy = LeasePolicy(
         timeout=args.lease_timeout, heartbeat_interval=args.lease_timeout / 4.0
     )
-    server = make_server(args.db, host=args.host, port=args.port, policy=policy)
+    token = args.token or os.environ.get(TOKEN_ENV) or None
+    try:
+        server = make_server(
+            args.db,
+            host=args.host,
+            port=args.port,
+            policy=policy,
+            token=token,
+            certfile=args.certfile,
+            keyfile=args.keyfile,
+        )
+    except (OSError, ValueError) as error:  # ssl.SSLError is an OSError
+        print(f"serve: cannot start service: {error}", file=sys.stderr)
+        return 2
     host, port = server.server_address[:2]
-    print(f"serving queue {args.db} at http://{host}:{port} (ctrl-c to stop)", flush=True)
+    scheme = "https" if args.certfile else "http"
+    guard = " (token required)" if token else ""
+    print(
+        f"serving queue {args.db} at {scheme}://{host}:{port}{guard} (ctrl-c to stop)",
+        flush=True,
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -364,7 +492,13 @@ def run_workers_command(args: argparse.Namespace) -> int:
     ``--broker URL`` (a remote sweep service) — fleets behave identically
     against either.
     """
-    from repro.distributed import LeasePolicy, WorkerConfig, WorkerPool, open_broker
+    from repro.distributed import (
+        LeasePolicy,
+        RestartPolicy,
+        WorkerConfig,
+        WorkerPool,
+        open_broker,
+    )
 
     actions = ("start", "status", "drain")
     action = args.experiments[1] if len(args.experiments) > 1 else None
@@ -382,7 +516,7 @@ def run_workers_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    from repro.service import ServiceError
+    from repro.service import ServiceAuthError, ServiceError
 
     policy = LeasePolicy(
         timeout=args.lease_timeout, heartbeat_interval=args.lease_timeout / 4.0
@@ -399,19 +533,35 @@ def run_workers_command(args: argparse.Namespace) -> int:
             return 0
         if action == "status":
             print(format_worker_status(broker.stats()))
+            if args.expiring:
+                # Dry run: what a lease sweep would do right now, without
+                # doing it — works against remote brokers because the
+                # service forwards now/dry_run instead of dropping them.
+                requeued, exhausted = broker.requeue_expired(dry_run=True)
+                print(
+                    f"expiring (dry run): {requeued} lease(s) would requeue, "
+                    f"{exhausted} would fail permanently"
+                )
             return 0
         # start: run a worker fleet in the foreground until the queue is
         # drained (or settles, with --exit-when-idle), then report.
-        # Crashed members are replaced automatically, --restarts times.
+        # Crashed members are replaced under a per-member token bucket
+        # (--restarts tokens, refilling every --restart-refill seconds).
         fleet = max(1, args.workers if args.workers is not None else 3)
         config = WorkerConfig(policy=policy, exit_when_idle=args.exit_when_idle)
-        pool = WorkerPool(
-            target, workers=fleet, config=config, restart_budget=max(0, args.restarts)
+        restart_policy = (
+            RestartPolicy(burst=args.restarts, refill_s=args.restart_refill)
+            if args.restarts > 0
+            else None
         )
+        pool = WorkerPool(target, workers=fleet, config=config, restart_policy=restart_policy)
         print(f"starting {fleet} worker(s) on {target} (ctrl-c to stop)", flush=True)
         try:
             with pool:
-                while pool.alive_count() > 0:
+                # Keep supervising while members are pending a rate-limited
+                # restart, even if every process is momentarily dead — the
+                # bucket refill is what revives a crash-looped fleet.
+                while pool.alive_count() > 0 or pool.pending_restarts():
                     for replacement in pool.supervise(broker):
                         print(f"restarted crashed worker as {replacement}", flush=True)
                     time.sleep(0.2)
@@ -422,6 +572,9 @@ def run_workers_command(args: argparse.Namespace) -> int:
             print(f"supervision: replaced {pool.restarts_used} crashed worker(s)")
         print(format_worker_status(broker.stats()))
         return 0
+    except ServiceAuthError as error:
+        print(f"sweep service authentication failed: {error}", file=sys.stderr)
+        return 2
     except ServiceError as error:
         print(f"sweep service error: {error}", file=sys.stderr)
         return 2
@@ -476,14 +629,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
-    if args.experiments and args.experiments[0] == "sweep":
-        return run_sweep_command(args)
-    if args.experiments and args.experiments[0] == "workers":
-        return run_workers_command(args)
-    if args.experiments and args.experiments[0] == "serve":
-        return run_serve_command(args)
-    if args.experiments and args.experiments[0] == "export":
-        return run_export_command(args)
+    previous_env = apply_security_args(args)
+    try:
+        if args.experiments and args.experiments[0] == "sweep":
+            return run_sweep_command(args)
+        if args.experiments and args.experiments[0] == "workers":
+            return run_workers_command(args)
+        if args.experiments and args.experiments[0] == "serve":
+            return run_serve_command(args)
+        if args.experiments and args.experiments[0] == "export":
+            return run_export_command(args)
+        return run_harness_commands(args)
+    finally:
+        restore_environment(previous_env)
+
+
+def run_harness_commands(args: argparse.Namespace) -> int:
+    """Run the named experiment harnesses (the default command path)."""
     scale = ExperimentScale(args.scale)
     started = time.time()
     try:
@@ -499,6 +661,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     except UnknownExperimentError as error:
         print(error, file=sys.stderr)
         return 2
+    except Exception as error:
+        # Service errors can only have been raised if repro.service is
+        # already loaded, so importing it here costs sqlite-only (and
+        # plain harness) invocations nothing.
+        from repro.service import ServiceAuthError, ServiceError
+
+        if isinstance(error, ServiceAuthError):
+            print(f"sweep service authentication failed: {error}", file=sys.stderr)
+            return 2
+        if isinstance(error, ServiceError):
+            print(f"sweep service error: {error}", file=sys.stderr)
+            return 2
+        raise
     finally:
         if args.executor or args.broker:
             # main() may run in-process (tests, embedding callers): do not

@@ -22,6 +22,14 @@ One deployment, three commands::
     chronos-experiments workers start --broker http://a:8176       # hosts B, C
     chronos-experiments sweep --spec sweep.json --broker http://a:8176
 
+Crossing an untrusted network?  Add a bearer token and a certificate
+(:mod:`repro.service.security`) and nothing else changes::
+
+    chronos-experiments serve --db queue.sqlite --token "$CHRONOS_TOKEN" \
+        --certfile cert.pem --keyfile key.pem                      # host A
+    CHRONOS_TOKEN=… CHRONOS_CAFILE=cert.pem \
+        chronos-experiments workers start --broker https://a:8176  # hosts B, C
+
 or in code::
 
     from repro.api import Sweep
@@ -38,7 +46,17 @@ from repro.service.protocol import (
     PROTOCOL_VERSION,
     RPC_PATH,
     STATUS_PATH,
+    ServiceAuthError,
     ServiceError,
+)
+from repro.service.security import (
+    CAFILE_ENV,
+    TOKEN_ENV,
+    VERIFY_ENV,
+    Credentials,
+    client_ssl_context,
+    server_ssl_context,
+    token_matches,
 )
 from repro.service.server import (
     BrokerService,
@@ -63,8 +81,17 @@ __all__ = [
     "rpc_call",
     # protocol
     "ServiceError",
+    "ServiceAuthError",
     "RPC_PATH",
     "HEALTH_PATH",
     "STATUS_PATH",
     "PROTOCOL_VERSION",
+    # security
+    "Credentials",
+    "token_matches",
+    "client_ssl_context",
+    "server_ssl_context",
+    "TOKEN_ENV",
+    "CAFILE_ENV",
+    "VERIFY_ENV",
 ]

@@ -13,13 +13,23 @@ shared connection), which makes them thread safe: one instance can be
 shared by a worker loop and its heartbeat thread.  Transient transport
 errors surface as :class:`ServiceError`; the lease protocol is already
 built for missed beats, so callers treat them like any other lost
-heartbeat.
+heartbeat.  Rejected credentials surface as the sharper
+:class:`~repro.service.protocol.ServiceAuthError`, which is *not*
+transient — retrying a bad token only hammers the server.
+
+Security settings (bearer token, CA file, verification policy) come
+from explicit constructor kwargs, falling back per field to the
+``CHRONOS_TOKEN`` / ``CHRONOS_CAFILE`` / ``CHRONOS_TLS_VERIFY``
+environment (see :class:`repro.service.security.Credentials`), so a
+worker process spawned anywhere in the tree inherits the sweep's
+credentials without plumbing.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import ssl
 import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
@@ -29,11 +39,13 @@ from repro.distributed.broker import Task, TaskRecord
 from repro.distributed.leases import LeasePolicy
 from repro.service.protocol import (
     RPC_PATH,
+    ServiceAuthError,
     ServiceError,
     policy_from_wire,
     record_from_wire,
     task_from_wire,
 )
+from repro.service.security import Credentials, client_ssl_context
 
 #: Seconds an RPC waits on the socket before failing.
 RPC_TIMEOUT_S = 30.0
@@ -44,26 +56,43 @@ def rpc_call(
     method: str,
     params: Optional[Dict[str, Any]] = None,
     timeout: float = RPC_TIMEOUT_S,
+    token: Optional[str] = None,
+    context: Optional[ssl.SSLContext] = None,
 ) -> Any:
     """One ``POST /rpc`` round trip; returns the ``result`` field.
 
-    Raises :class:`ServiceError` on transport failures and on error
-    responses, with the server's message attached when there is one.
+    ``token`` is sent as an ``Authorization: Bearer`` header; ``context``
+    is the SSL context for ``https://`` URLs (``None`` uses stdlib
+    defaults — the system trust store).  Raises :class:`ServiceError` on
+    transport failures and on error responses, with the server's message
+    attached when there is one, and :class:`ServiceAuthError` when the
+    service rejects the credentials.
     """
+    headers = {"Content-Type": "application/json"}
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
     request = urllib.request.Request(
         url.rstrip("/") + RPC_PATH,
         data=json.dumps({"method": method, "params": params or {}}).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
+        headers=headers,
         method="POST",
     )
     try:
-        with urllib.request.urlopen(request, timeout=timeout) as response:
+        with urllib.request.urlopen(request, timeout=timeout, context=context) as response:
             body = json.loads(response.read().decode("utf-8"))
     except urllib.error.HTTPError as error:
         try:
             detail = json.loads(error.read().decode("utf-8")).get("error", "")
         except Exception:
             detail = ""
+        if error.code in (401, 403):
+            hint = (
+                "missing or rejected bearer token — pass token=/--token "
+                "or set CHRONOS_TOKEN"
+            )
+            raise ServiceAuthError(
+                f"{method} failed: HTTP {error.code} ({detail or hint})"
+            ) from error
         raise ServiceError(
             f"{method} failed: HTTP {error.code}" + (f" — {detail}" if detail else "")
         ) from error
@@ -83,10 +112,21 @@ class HttpBroker:
     is only a local fallback used until the server has answered once.
     """
 
-    def __init__(self, url: str, policy: Optional[LeasePolicy] = None):
+    def __init__(
+        self,
+        url: str,
+        policy: Optional[LeasePolicy] = None,
+        token: Optional[str] = None,
+        cafile: Optional[str] = None,
+        verify: Optional[bool] = None,
+    ):
         self._url = url.rstrip("/")
         self._fallback_policy = policy if policy is not None else LeasePolicy()
         self._server_policy: Optional[LeasePolicy] = None
+        self._credentials = Credentials.resolve(token=token, cafile=cafile, verify=verify)
+        self._context = client_ssl_context(
+            self._url, cafile=self._credentials.cafile, verify=self._credentials.verify
+        )
 
     @property
     def url(self) -> str:
@@ -103,8 +143,19 @@ class HttpBroker:
                 return self._fallback_policy
         return self._server_policy
 
+    @property
+    def credentials(self) -> Credentials:
+        """The resolved security settings this client sends with."""
+        return self._credentials
+
     def _call(self, method: str, **params: Any) -> Any:
-        return rpc_call(self._url, method, params)
+        return rpc_call(
+            self._url,
+            method,
+            params,
+            token=self._credentials.token,
+            context=self._context,
+        )
 
     # ------------------------------------------------------------------
     # Producer side
@@ -150,10 +201,15 @@ class HttpBroker:
             self._call("fail", fingerprint=fingerprint, worker_id=worker_id, error=str(error))
         )
 
-    def requeue_expired(self, now: Optional[float] = None) -> Tuple[int, int]:
-        # ``now`` is a local-testing affordance; the server's clock rules
-        # the wire, so it is deliberately not forwarded.
-        requeued, exhausted = self._call("requeue_expired")
+    def requeue_expired(
+        self, now: Optional[float] = None, dry_run: bool = False
+    ) -> Tuple[int, int]:
+        # ``now`` crosses the wire (it used to be silently dropped, which
+        # made lease debugging against a remote broker lie); ``None``
+        # still means "the server's clock rules".  ``dry_run`` reports
+        # what a sweep *would* do without touching any lease — the mode
+        # behind ``workers status --expiring``.
+        requeued, exhausted = self._call("requeue_expired", now=now, dry_run=dry_run)
         return int(requeued), int(exhausted)
 
     def release_worker(self, worker_id: str) -> Tuple[int, int]:
@@ -223,17 +279,38 @@ class HttpResultStore:
     re-fetch or re-parse.
     """
 
-    def __init__(self, url: str):
+    def __init__(
+        self,
+        url: str,
+        token: Optional[str] = None,
+        cafile: Optional[str] = None,
+        verify: Optional[bool] = None,
+    ):
         self._url = url.rstrip("/")
         self._memory: Dict[str, ScenarioResult] = {}
+        self._credentials = Credentials.resolve(token=token, cafile=cafile, verify=verify)
+        self._context = client_ssl_context(
+            self._url, cafile=self._credentials.cafile, verify=self._credentials.verify
+        )
 
     @property
     def url(self) -> str:
         """Base URL of the sweep service."""
         return self._url
 
+    @property
+    def credentials(self) -> Credentials:
+        """The resolved security settings this client sends with."""
+        return self._credentials
+
     def _call(self, method: str, **params: Any) -> Any:
-        return rpc_call(self._url, method, params)
+        return rpc_call(
+            self._url,
+            method,
+            params,
+            token=self._credentials.token,
+            context=self._context,
+        )
 
     def get(self, fingerprint: str) -> Optional[ScenarioResult]:
         if fingerprint in self._memory:

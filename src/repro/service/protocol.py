@@ -36,6 +36,17 @@ class ServiceError(RuntimeError):
     """An RPC against the sweep service failed (transport or server side)."""
 
 
+class ServiceAuthError(ServiceError):
+    """The service rejected the request's credentials (HTTP 401/403).
+
+    Kept distinct from plain :class:`ServiceError` because the two call
+    for opposite reactions: transport blips are transient (workers retry
+    them with backoff), but a bad or missing bearer token will never get
+    better on its own — workers fail fast and the CLI turns it into an
+    exit-2 diagnostic instead of a retry loop.
+    """
+
+
 def task_to_wire(task: Optional[Task]) -> Optional[Dict[str, Any]]:
     """A claimed task as a JSON-native dict (``None`` passes through)."""
     if task is None:

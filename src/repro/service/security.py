@@ -1,0 +1,148 @@
+"""Transport security for the sweep service: bearer tokens and TLS.
+
+The service crosses host boundaries, so PR 3's "bare HTTP on a trusted
+network" stance stops scaling the moment a fleet leaves the rack.  This
+module holds everything both ends share:
+
+- :class:`Credentials` — the client-side security settings (bearer
+  token, CA bundle, verification policy), resolvable from the
+  environment (:data:`TOKEN_ENV`, :data:`CAFILE_ENV`,
+  :data:`VERIFY_ENV`) so every layer that eventually calls
+  :func:`repro.distributed.targets.open_broker` — workers, pools, the
+  sweep executor, the CLI — works unchanged against a secured endpoint.
+- :func:`token_matches` — constant-time bearer-token comparison
+  (:func:`hmac.compare_digest`), so the server's 401 path does not leak
+  token prefixes through response timing.
+- :func:`client_ssl_context` / :func:`server_ssl_context` — the
+  :class:`ssl.SSLContext` pair for ``https://`` targets: clients verify
+  against the system store or an explicit CA file (self-signed
+  deployments ship their own cert as the CA), the server wraps its
+  listening socket with a cert/key pair.
+
+Tokens travel as ``Authorization: Bearer <token>`` headers; the
+``/healthz`` liveness endpoint stays open so load balancers and CI
+health loops need no secret.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+import ssl
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+#: Environment variable carrying the shared bearer token (both ends).
+TOKEN_ENV = "CHRONOS_TOKEN"
+
+#: Environment variable naming the CA bundle clients verify against
+#: (point it at the server's certificate for self-signed deployments).
+CAFILE_ENV = "CHRONOS_CAFILE"
+
+#: Environment variable disabling client certificate verification when
+#: set to ``0``/``false``/``no`` (testing escape hatch, not a deployment
+#: mode — prefer :data:`CAFILE_ENV`).
+VERIFY_ENV = "CHRONOS_TLS_VERIFY"
+
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """Client-side security settings for one service URL.
+
+    ``token=None`` sends no ``Authorization`` header; ``cafile=None``
+    verifies ``https`` against the system trust store; ``verify=False``
+    skips certificate verification entirely.
+    """
+
+    token: Optional[str] = None
+    cafile: Optional[str] = None
+    verify: bool = True
+
+    @classmethod
+    def resolve(
+        cls,
+        token: Optional[str] = None,
+        cafile: Optional[str] = None,
+        verify: Optional[bool] = None,
+    ) -> "Credentials":
+        """Explicit settings, falling back to the environment per field.
+
+        This is the single lookup every transport layer goes through, so
+        exporting :data:`TOKEN_ENV` (and :data:`CAFILE_ENV` for a
+        self-signed cert) secures a whole topology — sweep driver, local
+        pools and spawned worker processes alike, since child processes
+        inherit the environment.
+        """
+        if token is None:
+            token = os.environ.get(TOKEN_ENV) or None
+        if cafile is None:
+            cafile = os.environ.get(CAFILE_ENV) or None
+        if verify is None:
+            raw = os.environ.get(VERIFY_ENV)
+            verify = raw is None or raw.strip().lower() not in _FALSE_WORDS
+        return cls(token=token, cafile=cafile, verify=verify)
+
+
+def token_matches(expected: Optional[str], presented: Optional[str]) -> bool:
+    """Whether a presented bearer token matches, in constant time.
+
+    ``expected=None`` means the server requires no token (everything
+    matches); a required token never matches a missing one.  The
+    comparison goes through :func:`hmac.compare_digest` so mismatches
+    take the same time regardless of how many leading bytes agree.
+    """
+    if expected is None:
+        return True
+    if presented is None:
+        return False
+    return hmac.compare_digest(expected.encode("utf-8"), presented.encode("utf-8"))
+
+
+def bearer_token(headers: Mapping[str, str]) -> Optional[str]:
+    """Extract the token of an ``Authorization: Bearer …`` header.
+
+    Returns ``None`` for a missing header or any other auth scheme —
+    the caller treats both as "no token presented".
+    """
+    header = headers.get("Authorization")
+    if not header:
+        return None
+    scheme, _, value = header.partition(" ")
+    if scheme.lower() != "bearer" or not value:
+        return None
+    return value.strip()
+
+
+def client_ssl_context(
+    url: str, cafile: Optional[str] = None, verify: bool = True
+) -> Optional[ssl.SSLContext]:
+    """The SSL context a client should use for ``url`` (``None`` for http).
+
+    ``cafile`` points verification at an explicit CA bundle — for
+    self-signed deployments, the server certificate itself.  With
+    ``verify=False`` the connection is still encrypted but the peer is
+    not authenticated (timing-friendly for tests; do not deploy it).
+    """
+    if not url.startswith("https://"):
+        return None
+    if not verify:
+        context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+        context.check_hostname = False
+        context.verify_mode = ssl.CERT_NONE
+        return context
+    return ssl.create_default_context(cafile=cafile)
+
+
+def server_ssl_context(certfile: str, keyfile: Optional[str] = None) -> ssl.SSLContext:
+    """The SSL context a server should wrap its listening socket with.
+
+    ``keyfile=None`` expects the private key inside ``certfile`` (a
+    combined PEM).  Raises :class:`ssl.SSLError`/``OSError`` eagerly on
+    unreadable or mismatched material, so a misconfigured ``serve``
+    fails at startup rather than at the first handshake.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.load_cert_chain(certfile, keyfile)
+    return context

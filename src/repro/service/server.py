@@ -15,8 +15,15 @@ each operation is a sub-millisecond sqlite transaction, the server
 threads only exist to overlap network I/O, and batch claims
 (``claim_many``) amortize the round trip for short scenarios.
 
+The transport hardens on demand: ``token=`` requires ``Authorization:
+Bearer …`` on every RPC and status request (compared in constant time;
+``/healthz`` stays open for load balancers), and ``certfile=``/
+``keyfile=`` wrap the listening socket in an :class:`ssl.SSLContext` so
+the queue can cross untrusted networks — see
+:mod:`repro.service.security`.
+
 Run it from the CLI (``chronos-experiments serve --db queue.sqlite
---port 8176``) or embed it::
+--port 8176 --token …``) or embed it::
 
     server = make_server("queue.sqlite", port=0)   # port 0: pick a free one
     url = f"http://127.0.0.1:{server.server_address[1]}"
@@ -43,6 +50,7 @@ from repro.service.protocol import (
     record_to_wire,
     task_to_wire,
 )
+from repro.service.security import bearer_token, server_ssl_context, token_matches
 
 
 class UnknownMethodError(KeyError):
@@ -78,7 +86,11 @@ class BrokerService:
             "heartbeat": broker.heartbeat,
             "complete": broker.complete,
             "fail": broker.fail,
-            "requeue_expired": lambda: list(broker.requeue_expired()),
+            "requeue_expired": lambda now=None, dry_run=False: list(
+                broker.requeue_expired(
+                    None if now is None else float(now), dry_run=bool(dry_run)
+                )
+            ),
             "release_worker": lambda worker_id: list(broker.release_worker(worker_id)),
             # worker liveness (remote pid travels with the registration)
             "register_worker": broker.register_worker,
@@ -134,14 +146,22 @@ class BrokerService:
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server carrying its :class:`BrokerService`."""
+    """A threading HTTP server carrying its :class:`BrokerService`.
+
+    ``token`` (when set) is the bearer token every RPC and status
+    request must present; ``tls`` records whether the listening socket
+    was wrapped by :func:`make_server` (reported by ``/healthz`` so
+    clients and health checks can tell the schemes apart).
+    """
 
     daemon_threads = True
     #: Tolerate a burst of fleet connections beyond the default backlog.
     request_queue_size = 32
 
-    def __init__(self, address, handler, service: BrokerService):
+    def __init__(self, address, handler, service: BrokerService, token: Optional[str] = None):
         self.service = service
+        self.token = token
+        self.tls = False
         super().__init__(address, handler)
 
     def server_close(self) -> None:  # releases sqlite handles with the socket
@@ -155,9 +175,52 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     server_version = "chronos-sweep-service/1"
     protocol_version = "HTTP/1.1"  # keep-alive; responses carry Content-Length
 
+    def _authorized(self) -> bool:
+        """Check the request's bearer token against the server's.
+
+        Uses the constant-time comparison of
+        :func:`repro.service.security.token_matches`, so the rejection
+        path leaks nothing about how close a guess came.  Servers
+        without a configured token accept everything (PR 3 behaviour).
+        """
+        return token_matches(self.server.token, bearer_token(self.headers))
+
+    def _reject_unauthorized(self) -> None:
+        """Answer 401 with the standard challenge header.
+
+        The unread request body is drained first: under HTTP/1.1
+        keep-alive, leftover body bytes would be parsed as the *next*
+        request line, desynchronizing the connection.  Oversized bodies
+        are not worth reading for a rejected request — drop the
+        connection instead.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = 0
+        if 0 < length <= (1 << 20):
+            self.rfile.read(length)
+        elif length != 0:
+            self.close_connection = True
+        data = json.dumps(
+            {"error": "authentication required: send 'Authorization: Bearer <token>'"}
+        ).encode("utf-8")
+        try:
+            self.send_response(401)
+            self.send_header("WWW-Authenticate", 'Bearer realm="chronos-sweep-service"')
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
         if self.path != RPC_PATH:
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        if not self._authorized():
+            self._reject_unauthorized()
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
@@ -188,15 +251,22 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
         if self.path == HEALTH_PATH:
+            # Liveness stays token-free: load balancers, CI wait loops
+            # and `curl /healthz` need no secret to ask "are you up?".
             self._send_json(
                 200,
                 {
                     "ok": True,
                     "protocol": PROTOCOL_VERSION,
                     "db": str(self.server.service.db),
+                    "auth": self.server.token is not None,
+                    "tls": self.server.tls,
                 },
             )
         elif self.path == STATUS_PATH:
+            if not self._authorized():
+                self._reject_unauthorized()
+                return
             try:
                 self._send_json(200, self.server.service.call("stats"))
             except Exception as error:
@@ -224,15 +294,39 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8176,
     policy: Optional[LeasePolicy] = None,
+    token: Optional[str] = None,
+    certfile: Optional[Union[str, Path]] = None,
+    keyfile: Optional[Union[str, Path]] = None,
 ) -> ServiceHTTPServer:
     """Build (but do not start) a service bound to ``host:port``.
 
     ``port=0`` binds an ephemeral free port; read the real one from
     ``server.server_address[1]``.  Call ``serve_forever()`` to run and
     ``shutdown()`` + ``server_close()`` to stop.
+
+    ``token`` requires ``Authorization: Bearer <token>`` on every RPC
+    and ``/status`` request (``/healthz`` stays open); ``certfile`` (with
+    an optional separate ``keyfile``) wraps the listening socket in TLS,
+    making the service an ``https://`` target.  Bad cert material fails
+    here, at startup, not at the first client handshake.
     """
+    if keyfile is not None and certfile is None:
+        raise ValueError("keyfile requires certfile (the certificate to serve)")
     service = BrokerService(db, policy=policy)
-    return ServiceHTTPServer((host, port), ServiceRequestHandler, service)
+    try:
+        server = ServiceHTTPServer((host, port), ServiceRequestHandler, service, token=token)
+    except BaseException:
+        service.close()
+        raise
+    if certfile is not None:
+        try:
+            context = server_ssl_context(str(certfile), None if keyfile is None else str(keyfile))
+            server.socket = context.wrap_socket(server.socket, server_side=True)
+            server.tls = True
+        except BaseException:
+            server.server_close()
+            raise
+    return server
 
 
 def serve(
@@ -240,9 +334,14 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8176,
     policy: Optional[LeasePolicy] = None,
+    token: Optional[str] = None,
+    certfile: Optional[Union[str, Path]] = None,
+    keyfile: Optional[Union[str, Path]] = None,
 ) -> None:
     """Blocking convenience wrapper: build a server and run it forever."""
-    server = make_server(db, host=host, port=port, policy=policy)
+    server = make_server(
+        db, host=host, port=port, policy=policy, token=token, certfile=certfile, keyfile=keyfile
+    )
     try:
         server.serve_forever()
     finally:

@@ -382,17 +382,21 @@ class TestWorkerLoop:
 class TestSupervisedPool:
     """WorkerPool service mode: crashed members are replaced, clean exits not."""
 
-    def _service_pool(self, db, budget):
+    def _service_pool(self, db, policy):
         from repro.distributed import WorkerPool
 
         config = WorkerConfig(policy=FAST, exit_when_idle=False, poll_interval=0.02)
-        return WorkerPool(db, workers=1, config=config, restart_budget=budget)
+        return WorkerPool(db, workers=1, config=config, restart_policy=policy)
 
-    def test_sigkilled_member_is_replaced_within_budget(self, db, broker):
+    def test_sigkilled_member_is_replaced(self, db, broker):
         import os
         import signal
 
-        pool = self._service_pool(db, budget=2)
+        from repro.distributed import RestartPolicy
+
+        pool = self._service_pool(
+            db, RestartPolicy(burst=2, backoff_s=0.01, backoff_max_s=0.01)
+        )
         pool.start()
         try:
             original = pool.worker_ids[0]
@@ -411,38 +415,58 @@ class TestSupervisedPool:
         finally:
             pool.terminate()
 
-    def test_budget_bounds_restarts(self, db, broker):
+    def test_empty_bucket_defers_restart_until_refill(self, db, broker):
+        """A slot out of tokens stays dead — until the bucket refills.
+
+        Drives ``supervise`` with an injected clock: one token is spent
+        on the first crash, the second crash finds an empty bucket (the
+        fleet stays down, unlike the old budget this is *pending*, not
+        abandoned), and advancing the clock past ``refill_s`` revives it.
+        """
         import os
         import signal
 
-        pool = self._service_pool(db, budget=1)
+        from repro.distributed import RestartPolicy
+
+        pool = self._service_pool(
+            db,
+            RestartPolicy(burst=1, refill_s=60.0, backoff_s=0.01, backoff_max_s=0.01),
+        )
         pool.start()
+        clock = time.monotonic()
         try:
-            # first kill: replaced (budget 1 -> 0)
+            # first kill: the slot's only token is spent on the replacement
             os.kill(pool.processes[0].pid, signal.SIGKILL)
             pool.processes[0].join(timeout=5.0)
             deadline = time.monotonic() + 5.0
             while pool.restarts_used == 0 and time.monotonic() < deadline:
-                pool.supervise(broker)
+                clock = time.monotonic()
+                pool.supervise(broker, now=clock)
                 time.sleep(0.02)
             assert pool.restarts_used == 1 and pool.alive_count() == 1
-            # second kill: budget spent, the fleet stays dead
+            # second kill: bucket empty, the fleet stays dead but pending
             os.kill(pool.processes[0].pid, signal.SIGKILL)
             pool.processes[0].join(timeout=5.0)
             for _ in range(10):
-                pool.supervise(broker)
+                clock = time.monotonic()
+                pool.supervise(broker, now=clock)
                 time.sleep(0.02)
             assert pool.restarts_used == 1
             assert pool.alive_count() == 0
+            assert pool.pending_restarts() == [pool.worker_ids[0]]
+            # a refill interval later the pending member is revived
+            assert pool.supervise(broker, now=clock + 61.0) != []
+            assert pool.restarts_used == 2 and pool.alive_count() == 1
+            assert pool.pending_restarts() == []
         finally:
             pool.terminate()
 
     def test_clean_exit_is_not_restarted(self, db, broker):
-        from repro.distributed import WorkerPool
+        from repro.distributed import RestartPolicy, WorkerPool
 
         # exit_when_idle on an empty queue: the worker exits with code 0
         config = WorkerConfig(policy=FAST, exit_when_idle=True, poll_interval=0.02)
-        pool = WorkerPool(db, workers=1, config=config, restart_budget=5)
+        pool = WorkerPool(db, workers=1, config=config, restart_policy=RestartPolicy(burst=5))
         pool.start()
         try:
             pool.join(timeout=10.0)
@@ -452,8 +476,14 @@ class TestSupervisedPool:
         finally:
             pool.terminate()
 
-    def test_restart_budget_validated(self, db):
-        from repro.distributed import WorkerPool
+    def test_restart_policy_validated(self):
+        from repro.distributed import RestartPolicy
 
         with pytest.raises(ValueError):
-            WorkerPool(db, workers=1, restart_budget=-1)
+            RestartPolicy(burst=-1)
+        with pytest.raises(ValueError):
+            RestartPolicy(refill_s=0.0)
+        with pytest.raises(ValueError):
+            RestartPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RestartPolicy(backoff_s=2.0, backoff_max_s=1.0)

@@ -25,6 +25,7 @@ from repro.api.registry import WORKLOADS, register_workload
 from repro.distributed import (
     Broker,
     LeasePolicy,
+    RestartPolicy,
     TaskFailedError,
     Worker,
     WorkerConfig,
@@ -468,7 +469,11 @@ class TestSupervisedFleetRecovery:
         sweep = twelve_scenario_sweep(base)
         config = WorkerConfig(policy=FAST, exit_when_idle=False, claim_batch=2)
         pool = WorkerPool(
-            service.url, workers=3, config=config, id_prefix="fleet", restart_budget=3
+            service.url,
+            workers=3,
+            config=config,
+            id_prefix="fleet",
+            restart_policy=RestartPolicy(burst=3, backoff_s=0.05, backoff_max_s=0.05),
         )
         pool.start()
         watcher = HttpBroker(service.url)
