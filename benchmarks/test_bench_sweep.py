@@ -8,13 +8,21 @@ durability costs — on this machine.  A second benchmark isolates the
 queue itself: claim/complete cycles at different ``claim_many`` batch
 sizes, quantifying how much batch claims amortize the per-transaction
 overhead.
+
+Two streaming benchmarks track the PR 5 event redesign: the cost of
+consuming a sweep as an event stream versus the blocking call built on
+top of it (asserted to stay within 5%), and how fast the broker's event
+log drains through batched ``events_since`` reads — the path a remote
+progress observer pays.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from repro.api import ScenarioSpec, WorkloadSpec, job_spec_to_dict, run_specs
+from repro.api import ScenarioSpec, WorkloadSpec, job_spec_to_dict, run_specs, stream_specs
 from repro.simulator.entities import JobSpec
 
 #: Grid size: 2 strategies x 2 seeds x 2 thetas.
@@ -109,3 +117,91 @@ def test_broker_claim_batch_throughput(benchmark, batch, tmp_path):
     benchmark.extra_info["claim_batch"] = batch
     benchmark.extra_info["tasks"] = QUEUE_TASKS
     benchmark.extra_info["tasks_per_sec"] = QUEUE_TASKS / max(mean_s, 1e-9)
+
+
+#: Rounds of the streaming-vs-blocking comparison (min-of-N is compared,
+#: which is far more stable than a single sample).
+OVERHEAD_ROUNDS = 3
+
+
+def test_event_stream_overhead(benchmark):
+    """Streaming a sweep must cost within 5% of the blocking call.
+
+    ``run_specs`` *is* a consumer of ``stream_specs``, so draining the
+    stream by hand does strictly less work (no result assembly); this
+    benchmark pins that relationship down so an accidental inversion —
+    eager materialization sneaking back into the stream path — shows up
+    in CI rather than in a 10⁴-scenario sweep.
+    """
+    specs = _sweep_specs()
+    expected = len(specs)
+
+    def drain_stream() -> int:
+        completed = 0
+        for event in stream_specs(specs, executor="inline"):
+            if event.kind == "scenario-completed":
+                completed += 1
+        return completed
+
+    # Interleave the timed rounds so a noise burst on a shared CI runner
+    # lands on both sides of the comparison instead of skewing one.
+    blocking_times, stream_times = [], []
+    for _ in range(OVERHEAD_ROUNDS):
+        blocking_times.append(_timed(lambda: run_specs(specs, executor="inline")))
+        stream_times.append(_timed(drain_stream))
+    blocking_min, stream_min = min(blocking_times), min(stream_times)
+
+    completed = benchmark.pedantic(drain_stream, rounds=1, iterations=1)
+    assert completed == expected
+    benchmark.extra_info["scenarios"] = expected
+    benchmark.extra_info["blocking_min_s"] = blocking_min
+    benchmark.extra_info["stream_min_s"] = stream_min
+    benchmark.extra_info["overhead_ratio"] = stream_min / max(blocking_min, 1e-9)
+    assert stream_min <= blocking_min * 1.05, (
+        f"event stream added {stream_min / blocking_min - 1:.1%} over the blocking drain"
+    )
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def test_events_since_drain_throughput(benchmark, tmp_path):
+    """Events/sec through batched ``events_since`` reads.
+
+    Every queue transition writes one log row, so a remote observer
+    tailing a sweep reads ~3 events per scenario (queued, started,
+    completed).  This measures the read path alone — the stub tasks are
+    completed before the clock starts — in the same batch size the sweep
+    driver uses.
+    """
+    from repro.distributed import Broker
+
+    db = tmp_path / "queue.sqlite"
+    tasks = QUEUE_TASKS
+    with Broker(db) as broker:
+        broker.enqueue([{"i": i} for i in range(tasks)], [f"ev{i:04d}" for i in range(tasks)])
+        while True:
+            batch = broker.claim_many("bench-worker", 16)
+            if not batch:
+                break
+            for task in batch:
+                broker.complete(task.fingerprint, "bench-worker", {"ok": True})
+
+        def drain_events() -> int:
+            seq = 0
+            total = 0
+            while True:
+                rows = broker.events_since(seq, limit=128)
+                if not rows:
+                    return total
+                seq = rows[-1]["seq"]
+                total += len(rows)
+
+        total = benchmark.pedantic(drain_events, rounds=3, iterations=1)
+        assert total == 3 * tasks  # queued + started + completed per task
+        mean_s = benchmark.stats.stats.mean
+        benchmark.extra_info["events"] = total
+        benchmark.extra_info["events_per_sec"] = total / max(mean_s, 1e-9)

@@ -27,8 +27,33 @@ completion-time estimators and workload generators are resolved through
 string-keyed plugin registries — see :func:`register_strategy`,
 :func:`register_estimator` and :func:`register_workload` for extending
 the system without editing ``repro``.
+
+Execution is event driven: :meth:`Sweep.stream` / :func:`stream_specs`
+yield :mod:`repro.api.events` objects as scenarios complete (the
+blocking calls above are thin consumers of the same stream), a
+:class:`CancelToken` turns Ctrl-C into a *partial* result instead of
+lost work, and :func:`register_stop_condition` plugs in early-stopping
+predicates (``stop="max_failures"``, ``stop="first_deadline_miss"``,
+or any callable over the incoming events)::
+
+    for event in sweep.stream(jobs=4):
+        if isinstance(event, ScenarioCompleted):
+            print(event.index, event.result.report.pocd)
 """
 
+from repro.api.events import (
+    EVENT_TYPES,
+    ScenarioCacheHit,
+    ScenarioCompleted,
+    ScenarioFailed,
+    ScenarioQueued,
+    ScenarioRetried,
+    ScenarioStarted,
+    SweepEvent,
+    SweepFinished,
+    SweepStarted,
+    event_from_dict,
+)
 from repro.api.facade import ScenarioResult, report_from_dict, report_to_dict, run
 from repro.api.registry import (
     ESTIMATORS,
@@ -54,12 +79,21 @@ from repro.api.spec import (
 )
 from repro.api.sweep import (
     EXECUTORS,
+    STOP_CONDITIONS,
+    CancelToken,
     ResultCache,
+    StopCondition,
     Sweep,
     SweepResult,
+    available_stop_conditions,
     default_executor,
+    default_on_event,
+    make_stop_condition,
+    register_stop_condition,
     run_specs,
     set_default_executor,
+    set_default_on_event,
+    stream_specs,
 )
 
 __all__ = [
@@ -80,9 +114,31 @@ __all__ = [
     "SweepResult",
     "ResultCache",
     "run_specs",
+    "stream_specs",
     "EXECUTORS",
     "set_default_executor",
     "default_executor",
+    "set_default_on_event",
+    "default_on_event",
+    # streaming control
+    "CancelToken",
+    "StopCondition",
+    "STOP_CONDITIONS",
+    "register_stop_condition",
+    "make_stop_condition",
+    "available_stop_conditions",
+    # events
+    "SweepEvent",
+    "SweepStarted",
+    "ScenarioQueued",
+    "ScenarioStarted",
+    "ScenarioCacheHit",
+    "ScenarioCompleted",
+    "ScenarioFailed",
+    "ScenarioRetried",
+    "SweepFinished",
+    "EVENT_TYPES",
+    "event_from_dict",
     # registries
     "Registry",
     "UnknownPluginError",

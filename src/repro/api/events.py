@@ -1,0 +1,226 @@
+"""The sweep event stream: what happens, as it happens.
+
+Every executor backend — inline, process pool, distributed queue, remote
+HTTP service — reports progress through one vocabulary: a small hierarchy
+of frozen, JSON-serializable :class:`SweepEvent` dataclasses.  The
+streaming API (:func:`repro.api.stream_specs` / ``Sweep.stream``) yields
+these events as scenarios complete; the blocking API (``run_specs`` /
+``Sweep.run``) is a thin consumer that assembles the same events into a
+:class:`~repro.api.sweep.SweepResult`.
+
+Event lifecycle of one sweep::
+
+    SweepStarted
+      ScenarioCacheHit*      (answered by the cache/result store)
+      ScenarioQueued*        (one per uncached scenario index)
+        ScenarioStarted      (execution began; distributed: a worker claimed it)
+        ScenarioRetried      (lease expired / worker died / inline retry)
+        ScenarioCompleted    (carries the ScenarioResult)
+        ScenarioFailed       (the scenario itself raised)
+    SweepFinished            (totals; cancelled/stopped flags)
+
+Events serialize to JSON (:meth:`SweepEvent.to_dict` /
+:func:`event_from_dict`), so they can cross process and host boundaries
+exactly like specs and results do — the distributed broker keeps a
+monotonic event log in sqlite, and the HTTP service relays it via the
+``events_since`` RPC.  ``index`` is the scenario's position in the
+submitted spec list (duplicates share the first position); ``elapsed_s``
+is wall time since the sweep began.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple, Type
+
+from repro.api.facade import ScenarioResult
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """Base class of every sweep event (no fields of its own)."""
+
+    #: Wire name of the event, set by each subclass.
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation; inverse of :func:`event_from_dict`."""
+        data: Dict[str, Any] = {"event": self.kind}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, ScenarioResult):
+                value = value.to_dict()
+            data[field.name] = value
+        return data
+
+
+@dataclass(frozen=True)
+class SweepStarted(SweepEvent):
+    """The sweep began: how many scenarios, on which executor backend."""
+
+    kind: ClassVar[str] = "sweep-started"
+
+    total: int = 0
+    executor: str = "inline"
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioQueued(SweepEvent):
+    """One uncached scenario entered the work queue."""
+
+    kind: ClassVar[str] = "scenario-queued"
+
+    fingerprint: str = ""
+    index: int = 0
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioStarted(SweepEvent):
+    """Execution of a scenario began (distributed: a worker claimed it).
+
+    The pool backend does not emit this event — a process pool cannot
+    observe when a queued task actually begins, and a fake start stamp
+    would corrupt any latency derived from the stream; use the completed
+    result's own ``wall_time_s`` for per-scenario timing there.
+    """
+
+    kind: ClassVar[str] = "scenario-started"
+
+    fingerprint: str = ""
+    index: int = 0
+    worker_id: Optional[str] = None
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioCacheHit(SweepEvent):
+    """A scenario was answered by the cache or result store, not executed."""
+
+    kind: ClassVar[str] = "scenario-cache-hit"
+
+    fingerprint: str = ""
+    index: int = 0
+    result: Optional[ScenarioResult] = None
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioCompleted(SweepEvent):
+    """A scenario finished executing; carries its result."""
+
+    kind: ClassVar[str] = "scenario-completed"
+
+    fingerprint: str = ""
+    index: int = 0
+    result: Optional[ScenarioResult] = None
+    worker_id: Optional[str] = None
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioFailed(SweepEvent):
+    """A scenario raised; ``error`` is the recorded diagnostic."""
+
+    kind: ClassVar[str] = "scenario-failed"
+
+    fingerprint: str = ""
+    index: int = 0
+    error: str = ""
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioRetried(SweepEvent):
+    """A scenario is being re-run: lease expiry, worker death, stall drains
+    and parent-inline retries all surface here instead of happening silently."""
+
+    kind: ClassVar[str] = "scenario-retried"
+
+    fingerprint: str = ""
+    index: int = 0
+    reason: str = ""
+    worker_id: Optional[str] = None
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class SweepFinished(SweepEvent):
+    """The sweep ended (normally, cancelled, or stopped early)."""
+
+    kind: ClassVar[str] = "sweep-finished"
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+    cancelled: bool = False
+    stopped: bool = False
+    elapsed_s: float = 0.0
+
+
+#: Every concrete event type, keyed by wire name.
+EVENT_TYPES: Dict[str, Type[SweepEvent]] = {
+    cls.kind: cls
+    for cls in (
+        SweepStarted,
+        ScenarioQueued,
+        ScenarioStarted,
+        ScenarioCacheHit,
+        ScenarioCompleted,
+        ScenarioFailed,
+        ScenarioRetried,
+        SweepFinished,
+    )
+}
+
+#: Fields that deserialize into a :class:`ScenarioResult`.
+_RESULT_FIELDS = ("result",)
+
+
+def event_from_dict(data: Mapping[str, Any]) -> SweepEvent:
+    """Rebuild an event from :meth:`SweepEvent.to_dict` output.
+
+    Raises :class:`ValueError` on an unknown event name or a payload that
+    does not match the event's fields, so a corrupt log line is an error
+    at the boundary rather than a latent surprise.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(f"expected an event mapping, got {type(data).__name__}")
+    name = data.get("event")
+    cls = EVENT_TYPES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown sweep event {name!r}; known: {', '.join(sorted(EVENT_TYPES))}"
+        )
+    allowed = {field.name for field in dataclasses.fields(cls)}
+    kwargs: Dict[str, Any] = {}
+    for key, value in data.items():
+        if key == "event":
+            continue
+        if key not in allowed:
+            raise ValueError(f"{name}: unknown field {key!r}")
+        if key in _RESULT_FIELDS and value is not None:
+            value = ScenarioResult.from_dict(value)
+        kwargs[key] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as error:
+        raise ValueError(f"{name}: {error}") from error
+
+
+__all__: Tuple[str, ...] = (
+    "SweepEvent",
+    "SweepStarted",
+    "ScenarioQueued",
+    "ScenarioStarted",
+    "ScenarioCacheHit",
+    "ScenarioCompleted",
+    "ScenarioFailed",
+    "ScenarioRetried",
+    "SweepFinished",
+    "EVENT_TYPES",
+    "event_from_dict",
+)

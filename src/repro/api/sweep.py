@@ -1,4 +1,4 @@
-"""Grid sweeps over scenario specs: parallel execution plus result caching.
+"""Grid sweeps over scenario specs: streaming execution, caching, control.
 
 :class:`Sweep` expands a base :class:`~repro.api.spec.ScenarioSpec` with a
 list of dotted-path override mappings (or a full cartesian grid via
@@ -10,9 +10,19 @@ shared by worker processes, see :mod:`repro.distributed`) — optionally
 against a fingerprint-keyed :class:`ResultCache` so repeated sweeps only
 pay for scenarios they have not seen before.
 
+Execution is *event driven*: every backend reports progress through one
+stream of :class:`~repro.api.events.SweepEvent` objects.
+:func:`stream_specs` / :meth:`Sweep.stream` yield those events as
+scenarios complete; the blocking :func:`run_specs` / :meth:`Sweep.run`
+are thin consumers of the same stream that assemble a
+:class:`SweepResult`.  On top of the stream sit cooperative cancellation
+(:class:`CancelToken`; Ctrl-C returns a *partial* result instead of
+losing finished work) and registry-pluggable early stopping
+(:func:`register_stop_condition`).
+
 Example::
 
-    from repro.api import ScenarioSpec, Sweep, WorkloadSpec, ResultCache
+    from repro.api import CancelToken, ScenarioSpec, Sweep, WorkloadSpec
 
     base = ScenarioSpec(
         workload=WorkloadSpec("google-trace", {"num_jobs": 50}),
@@ -22,8 +32,11 @@ Example::
         "strategy": ["clone", "s-restart", "s-resume"],
         "strategy_params.theta": [1e-5, 1e-4],
     })
-    result = sweep.run(jobs=4, cache=ResultCache("results/cache"))
-    result = sweep.run(executor="distributed", workers=3, db="queue.sqlite")
+    for event in sweep.stream(jobs=4):          # live progress
+        print(event.kind, getattr(event, "fingerprint", ""))
+
+    token = CancelToken()                        # cancellable blocking run
+    result = sweep.run(jobs=4, cancel=token, stop="max_failures")
     print(result.to_text())
 """
 
@@ -35,14 +48,36 @@ import io
 import itertools
 import json
 import os
+import threading
 import time
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.api.events import (
+    ScenarioCacheHit,
+    ScenarioCompleted,
+    ScenarioFailed,
+    ScenarioQueued,
+    ScenarioStarted,
+    SweepEvent,
+    SweepFinished,
+    SweepStarted,
+)
 from repro.api.facade import ScenarioResult, run
-from repro.api.registry import UnknownPluginError
+from repro.api.registry import Registry, UnknownPluginError
 from repro.api.spec import ScenarioSpec, SpecValidationError
 from repro.simulator.metrics import SimulationReport
 
@@ -132,6 +167,9 @@ _executor_defaults: Dict[str, Any] = {
     "broker": None,
 }
 
+#: Process-wide event callback, set by :func:`set_default_on_event`.
+_default_on_event: Optional[Callable[[SweepEvent], None]] = None
+
 
 def _validate_broker_url(broker: Union[str, Path]) -> str:
     text = str(broker)
@@ -183,6 +221,131 @@ def default_executor() -> Optional[str]:
     return _executor_defaults["executor"]
 
 
+def set_default_on_event(callback: Optional[Callable[[SweepEvent], None]]) -> None:
+    """Set a process-wide event callback for blocking sweeps.
+
+    Every :func:`run_specs` call that does not pass its own ``on_event``
+    feeds its event stream through ``callback`` — which is how the CLI's
+    ``--progress`` renders a live progress line for the experiment
+    harnesses without threading a parameter through each of them.
+    ``None`` clears the default.
+    """
+    global _default_on_event
+    _default_on_event = callback
+
+
+def default_on_event() -> Optional[Callable[[SweepEvent], None]]:
+    """The process-wide event callback, or ``None``."""
+    return _default_on_event
+
+
+# ----------------------------------------------------------------------
+# Cancellation and early stopping
+# ----------------------------------------------------------------------
+class CancelToken:
+    """Cooperative cancellation flag shared by a sweep and its caller.
+
+    Thread safe: trip it from a signal handler, another thread, or an
+    ``on_event`` callback.  Executors poll it between scenarios (and on
+    every supervision pass, for the distributed backend), finish what is
+    in flight, release unclaimed work and return — so a cancelled
+    ``run_specs`` yields a *partial* :class:`SweepResult` instead of
+    discarding everything.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent)."""
+        self._event.set()
+
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+
+#: A stop condition: called with every sweep event, returns True to stop.
+StopCondition = Callable[[SweepEvent], bool]
+
+#: Registry of stop-condition *factories*: each call builds a fresh,
+#: possibly stateful condition (counters must not leak across sweeps).
+STOP_CONDITIONS: Registry[Callable[..., StopCondition]] = Registry("stop condition")
+
+
+def register_stop_condition(name: str, factory: Optional[Callable[..., StopCondition]] = None):
+    """Register a stop-condition factory (usable as a decorator).
+
+    A factory takes keyword configuration and returns a fresh callable
+    ``condition(event) -> bool``; the sweep stops early (returning a
+    partial result with ``stopped=True``) the first time the condition
+    answers ``True``.  Factories registered here can be named by string
+    in ``run_specs(..., stop="max_failures")``.
+    """
+    return STOP_CONDITIONS.register(name, factory)
+
+
+def make_stop_condition(name: str, **kwargs: Any) -> StopCondition:
+    """Instantiate a registered stop condition by name."""
+    return STOP_CONDITIONS.get(name)(**kwargs)
+
+
+def available_stop_conditions() -> tuple:
+    """Names of the registered stop-condition factories."""
+    return STOP_CONDITIONS.names()
+
+
+@register_stop_condition("max_failures")
+def _max_failures(limit: int = 1) -> StopCondition:
+    """Stop once ``limit`` scenarios have failed.
+
+    Pair with ``on_failure="continue"`` — under the default
+    ``on_failure="raise"`` the first failure raises before a second one
+    can ever be counted.
+    """
+    if limit < 1:
+        raise ValueError("limit must be a positive integer")
+    seen = 0
+
+    def condition(event: SweepEvent) -> bool:
+        nonlocal seen
+        if isinstance(event, ScenarioFailed):
+            seen += 1
+        return seen >= limit
+
+    return condition
+
+
+@register_stop_condition("first_deadline_miss")
+def _first_deadline_miss() -> StopCondition:
+    """Stop at the first scenario whose report shows a missed deadline.
+
+    The Chronos question is often binary — "does this configuration keep
+    PoCD at 1.0?" — and a 10⁴-scenario sweep can stop the moment the
+    answer is no.
+    """
+
+    def condition(event: SweepEvent) -> bool:
+        if isinstance(event, (ScenarioCompleted, ScenarioCacheHit)) and event.result is not None:
+            return event.result.report.pocd < 1.0
+        return False
+
+    return condition
+
+
+def _resolve_stop(stop: Union[None, str, StopCondition]) -> Optional[StopCondition]:
+    """A ready stop condition from a name, a callable, or ``None``."""
+    if stop is None:
+        return None
+    if isinstance(stop, str):
+        return make_stop_condition(stop)
+    if callable(stop):
+        return stop
+    raise ValueError(
+        f"stop must be a callable, a registered name or None, got {type(stop).__name__}"
+    )
+
+
 @dataclass(frozen=True)
 class SweepResult:
     """Outcome of running a batch of scenarios.
@@ -191,12 +354,22 @@ class SweepResult:
     counts scenarios answered from the cache; duplicate fingerprints
     within one batch are executed once and fanned back out, so
     ``executed + cache_hits`` can be less than ``len(results)``.
+
+    A *partial* result (cancelled sweep, tripped stop condition, or
+    ``on_failure="continue"``) partitions the batch: ``results`` holds
+    the completed scenarios in submission order and ``pending`` the
+    specs that never finished — re-running exactly those completes the
+    sweep without repeating paid-for work.
     """
 
     results: Tuple[ScenarioResult, ...]
     executed: int
     cache_hits: int
     wall_time_s: float
+    pending: Tuple[ScenarioSpec, ...] = ()
+    failures: int = 0
+    cancelled: bool = False
+    stopped: bool = False
 
     def __len__(self) -> int:
         return len(self.results)
@@ -206,6 +379,16 @@ class SweepResult:
 
     def __getitem__(self, index: int) -> ScenarioResult:
         return self.results[index]
+
+    @property
+    def completed(self) -> Tuple[ScenarioResult, ...]:
+        """The completed partition (alias of ``results``)."""
+        return self.results
+
+    @property
+    def partial(self) -> bool:
+        """Whether the sweep ended before every scenario finished."""
+        return bool(self.pending) or self.cancelled or self.stopped
 
     @property
     def reports(self) -> Tuple[SimulationReport, ...]:
@@ -286,11 +469,385 @@ class SweepResult:
         lines.append("  ".join("-" * widths[i] for i in range(len(header))))
         for line in body:
             lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
-        lines.append(
+        summary = (
             f"{len(self.results)} scenarios: {self.executed} executed, "
             f"{self.cache_hits} cache hits, {self.wall_time_s:.1f}s"
         )
+        if self.partial:
+            if self.stopped:
+                state = "stopped early"
+            elif self.cancelled:
+                state = "cancelled"
+            else:  # failures under on_failure="continue", nothing cancelled
+                state = "incomplete"
+            summary += f" [{state}: {len(self.pending)} pending, {self.failures} failed]"
+        lines.append(summary)
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The event stream (all executors) and its blocking consumer
+# ----------------------------------------------------------------------
+def _resolve_plan(
+    jobs: int,
+    executor: Optional[str],
+    workers: Optional[int],
+    db: Optional[Union[str, Path]],
+    broker: Optional[str],
+) -> Tuple[str, Optional[int], Optional[Union[str, Path]], Optional[str]]:
+    """Validate and resolve the executor/workers/db/broker choice."""
+    if jobs < 1:
+        raise ValueError("jobs must be a positive integer")
+    if executor is None:
+        executor = _executor_defaults["executor"]
+    if broker is None and db is None:
+        # Defaults are one queue-target setting: only consult them when the
+        # caller pinned neither target explicitly.
+        db = _executor_defaults["db"]
+        broker = _executor_defaults["broker"]
+    if broker is not None:
+        broker = _validate_broker_url(broker)
+        if executor is None:
+            executor = "distributed"
+    if executor is None:
+        executor = "pool" if jobs > 1 else "inline"
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r} (available: {', '.join(EXECUTORS)})")
+    if broker is not None and executor != "distributed":
+        raise ValueError("broker= requires the distributed executor")
+    if broker is not None and db is not None:
+        raise ValueError("pass either db (sqlite path) or broker (service URL), not both")
+    if workers is None:
+        workers = _executor_defaults["workers"]
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be a positive integer")
+    return executor, workers, db, broker
+
+
+def stream_specs(
+    specs: Sequence[ScenarioSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
+    db: Optional[Union[str, Path]] = None,
+    broker: Optional[str] = None,
+    lease_timeout: Optional[float] = None,
+    cancel: Optional[CancelToken] = None,
+    stop: Union[None, str, StopCondition] = None,
+    on_failure: str = "raise",
+) -> Iterator[SweepEvent]:
+    """Run a batch of scenarios, yielding events as they happen.
+
+    This is the one execution path of the sweep layer: the generator
+    emits a :class:`~repro.api.events.SweepStarted`, one
+    ``ScenarioCacheHit``/``ScenarioQueued`` per scenario, per-scenario
+    lifecycle events from the chosen backend as they occur (the first
+    event arrives long before the last scenario finishes), and a final
+    ``SweepFinished`` — identically for the inline, pool and distributed
+    backends, including sweeps against a remote ``https://`` broker.
+
+    Parameters mirror :func:`run_specs`, plus:
+
+    cancel:
+        A :class:`CancelToken`; tripping it makes every backend finish
+        the work in flight, release unclaimed queue tasks and leases,
+        and end the stream early (``SweepFinished.cancelled``).
+    stop:
+        A stop condition — a callable ``condition(event) -> bool`` or
+        the name of a factory registered via
+        :func:`register_stop_condition` (``"max_failures"``,
+        ``"first_deadline_miss"``, ...).  Evaluated against every event;
+        the first ``True`` ends the sweep (``SweepFinished.stopped``).
+    on_failure:
+        ``"raise"`` (default) re-raises a scenario's error out of the
+        stream after emitting ``ScenarioFailed`` — the pre-streaming
+        behaviour; ``"continue"`` keeps going, leaving failed scenarios
+        in the pending partition.
+
+    Closing the generator early (``break``/``close()``/Ctrl-C) performs
+    the same cleanup as cancellation.
+    """
+    executor, workers, db, broker = _resolve_plan(jobs, executor, workers, db, broker)
+    if on_failure not in ("raise", "continue"):
+        raise ValueError(f"on_failure must be 'raise' or 'continue', got {on_failure!r}")
+    stop_condition = _resolve_stop(stop)
+    token = cancel if cancel is not None else CancelToken()
+    return _event_stream(
+        list(specs),
+        jobs=jobs,
+        cache=cache,
+        executor=executor,
+        workers=workers,
+        db=db,
+        broker=broker,
+        lease_timeout=lease_timeout,
+        token=token,
+        stop_condition=stop_condition,
+        on_failure=on_failure,
+    )
+
+
+def _event_stream(
+    specs: List[ScenarioSpec],
+    *,
+    jobs: int,
+    cache: Optional[ResultCache],
+    executor: str,
+    workers: Optional[int],
+    db: Optional[Union[str, Path]],
+    broker: Optional[str],
+    lease_timeout: Optional[float],
+    token: CancelToken,
+    stop_condition: Optional[StopCondition],
+    on_failure: str,
+) -> Iterator[SweepEvent]:
+    """The generator behind :func:`stream_specs` (options pre-validated)."""
+    started = time.perf_counter()
+
+    def clock() -> float:
+        return time.perf_counter() - started
+
+    executed = 0
+    cache_hits = 0
+    failures = 0
+    stopped = False
+
+    def note(event: SweepEvent) -> None:
+        """Evaluate the stop condition against one delivered event."""
+        nonlocal stopped
+        if stop_condition is not None and not stopped and stop_condition(event):
+            stopped = True
+            token.cancel()
+
+    event: SweepEvent = SweepStarted(total=len(specs), executor=executor, elapsed_s=clock())
+    yield event
+    note(event)
+
+    pending_by_fp: Dict[str, List[int]] = {}
+    for index, spec in enumerate(specs):
+        if token.cancelled():
+            break
+        fingerprint = spec.fingerprint()
+        cached = cache.get(fingerprint) if cache is not None else None
+        if cached is not None:
+            cache_hits += 1
+            event = ScenarioCacheHit(
+                fingerprint=fingerprint, index=index, result=cached, elapsed_s=clock()
+            )
+        else:
+            pending_by_fp.setdefault(fingerprint, []).append(index)
+            event = ScenarioQueued(fingerprint=fingerprint, index=index, elapsed_s=clock())
+        yield event
+        note(event)
+
+    if pending_by_fp and not token.cancelled():
+        todo = [
+            (fingerprint, specs[indices[0]], indices[0])
+            for fingerprint, indices in pending_by_fp.items()
+        ]
+        backend = _open_backend(
+            todo,
+            jobs=jobs,
+            executor=executor,
+            workers=workers,
+            db=db,
+            broker=broker,
+            lease_timeout=lease_timeout,
+            token=token,
+            on_failure=on_failure,
+            clock=clock,
+        )
+        try:
+            for event in backend:
+                if isinstance(event, ScenarioCompleted):
+                    executed += 1
+                    # Cache each result the moment it exists, so work
+                    # already done survives a later failure or cancel.
+                    if cache is not None and event.result is not None:
+                        cache.put(event.result)
+                elif isinstance(event, ScenarioCacheHit):
+                    # Served by the queue's result store: paid for by an
+                    # earlier run, so a cache hit rather than an execution.
+                    cache_hits += 1
+                    if cache is not None and event.result is not None:
+                        cache.put(event.result)
+                elif isinstance(event, ScenarioFailed):
+                    failures += 1
+                yield event
+                note(event)
+        finally:
+            backend.close()
+
+    yield SweepFinished(
+        total=len(specs),
+        executed=executed,
+        cache_hits=cache_hits,
+        failures=failures,
+        cancelled=token.cancelled() and not stopped,
+        stopped=stopped,
+        elapsed_s=clock(),
+    )
+
+
+def _open_backend(
+    todo: List[Tuple[str, ScenarioSpec, int]],
+    *,
+    jobs: int,
+    executor: str,
+    workers: Optional[int],
+    db: Optional[Union[str, Path]],
+    broker: Optional[str],
+    lease_timeout: Optional[float],
+    token: CancelToken,
+    on_failure: str,
+    clock: Callable[[], float],
+) -> Iterator[SweepEvent]:
+    """The per-backend event generator for the deduplicated work list."""
+    if executor == "distributed":
+        # Imported lazily: repro.distributed depends on repro.api.
+        from repro.distributed import executor as _distributed
+
+        if broker is not None:
+            # None means "the service's attached fleets do the work".
+            fleet = workers
+        else:
+            fleet = workers if workers is not None else (jobs if jobs > 1 else 3)
+        policy = None
+        if lease_timeout is not None:
+            from repro.distributed import LeasePolicy
+
+            policy = LeasePolicy(
+                timeout=lease_timeout, heartbeat_interval=lease_timeout / 4.0
+            )
+        return _distributed.execute_stream(
+            todo,
+            workers=fleet,
+            db=db,
+            broker=broker,
+            policy=policy,
+            cancel=token,
+            on_failure=on_failure,
+            clock=clock,
+        )
+    pool_workers = workers if workers is not None else jobs
+    if executor == "pool" and pool_workers > 1 and len(todo) > 1:
+        return _stream_pool(todo, pool_workers, token, on_failure, clock)
+    return _stream_inline(todo, token, on_failure, clock)
+
+
+def _stream_inline(
+    todo: Sequence[Tuple[str, ScenarioSpec, int]],
+    token: CancelToken,
+    on_failure: str,
+    clock: Callable[[], float],
+) -> Iterator[SweepEvent]:
+    """Execute scenarios in this process, one event pair at a time."""
+    for fingerprint, spec, index in todo:
+        if token.cancelled():
+            return
+        yield ScenarioStarted(fingerprint=fingerprint, index=index, elapsed_s=clock())
+        try:
+            outcome = run(spec)
+        except Exception as error:
+            yield ScenarioFailed(
+                fingerprint=fingerprint,
+                index=index,
+                error=f"{type(error).__name__}: {error}",
+                elapsed_s=clock(),
+            )
+            if on_failure == "raise":
+                raise
+            continue
+        yield ScenarioCompleted(
+            fingerprint=fingerprint, index=index, result=outcome, elapsed_s=clock()
+        )
+
+
+def _stream_pool(
+    todo: Sequence[Tuple[str, ScenarioSpec, int]],
+    pool_workers: int,
+    token: CancelToken,
+    on_failure: str,
+    clock: Callable[[], float],
+) -> Iterator[SweepEvent]:
+    """Fan scenarios over a process pool, yielding in completion order."""
+    settled: set = set()  # fingerprints completed or failed via the pool
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(pool_workers, len(todo))
+        ) as pool:
+            try:
+                # No ScenarioStarted here: a process pool does not expose
+                # when a queued task actually begins, and stamping all N
+                # at submission time would fake per-scenario latency.
+                # ScenarioResult.wall_time_s (measured in the child)
+                # carries the true execution time of each completion.
+                futures = {
+                    pool.submit(_execute_spec_payload, spec.to_dict()): (fingerprint, index)
+                    for fingerprint, spec, index in todo
+                }
+                outstanding = set(futures)
+                draining = False
+                while outstanding:
+                    if token.cancelled() and not draining:
+                        # Withdraw the queued futures (Future.cancel is
+                        # synchronous and race-free, unlike shutting the
+                        # executor down mid-wait) but harvest what is
+                        # already running: those scenarios cost real
+                        # compute and are seconds from finishing —
+                        # discarding them would force the follow-up run
+                        # to pay for them again.
+                        draining = True
+                        for future in outstanding:
+                            future.cancel()
+                    finished, outstanding = concurrent.futures.wait(
+                        outstanding,
+                        timeout=0.1,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    for future in finished:
+                        if future.cancelled():
+                            continue
+                        fingerprint, index = futures[future]
+                        try:
+                            outcome = ScenarioResult.from_dict(future.result())
+                        except (SpecValidationError, UnknownPluginError):
+                            # Plugins registered only in this process are
+                            # invisible to spawn/forkserver workers (children
+                            # re-import only the builtins); leave the scenario
+                            # for the inline pass below, which can see them.
+                            continue
+                        except concurrent.futures.process.BrokenProcessPool:
+                            raise
+                        except Exception as error:
+                            settled.add(fingerprint)
+                            yield ScenarioFailed(
+                                fingerprint=fingerprint,
+                                index=index,
+                                error=f"{type(error).__name__}: {error}",
+                                elapsed_s=clock(),
+                            )
+                            if on_failure == "raise":
+                                raise
+                            continue
+                        settled.add(fingerprint)
+                        yield ScenarioCompleted(
+                            fingerprint=fingerprint,
+                            index=index,
+                            result=outcome,
+                            elapsed_s=clock(),
+                        )
+            except (GeneratorExit, KeyboardInterrupt):
+                # The consumer bailed (Ctrl-C, early break): do not sit in
+                # the pool's __exit__ waiting for scenarios nobody wants.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+    except concurrent.futures.process.BrokenProcessPool:
+        pass  # completed scenarios are already streamed; the rest run inline
+    leftovers = [item for item in todo if item[0] not in settled]
+    yield from _stream_inline(leftovers, token, on_failure, clock)
 
 
 def run_specs(
@@ -303,8 +860,17 @@ def run_specs(
     db: Optional[Union[str, Path]] = None,
     broker: Optional[str] = None,
     lease_timeout: Optional[float] = None,
+    on_event: Optional[Callable[[SweepEvent], None]] = None,
+    cancel: Optional[CancelToken] = None,
+    stop: Union[None, str, StopCondition] = None,
+    on_failure: str = "raise",
 ) -> SweepResult:
     """Run a batch of scenarios, deduplicated by fingerprint.
+
+    A thin consumer of :func:`stream_specs`: it drains the event stream,
+    fans results back out to duplicate fingerprints and assembles a
+    :class:`SweepResult` — byte-identical (minus wall time) to what the
+    pre-streaming implementation returned, on every backend.
 
     Parameters
     ----------
@@ -344,121 +910,91 @@ def run_specs(
         Seconds a distributed worker's task lease survives without a
         heartbeat before the task is requeued (default 30).  With a
         ``broker`` URL the server's policy governs actual lease expiry.
+    on_event:
+        Callback fed every :class:`~repro.api.events.SweepEvent` as it
+        happens (progress bars, logging, metrics).  ``None`` falls back
+        to :func:`set_default_on_event`.
+    cancel:
+        A :class:`CancelToken`; tripping it — like pressing Ctrl-C —
+        returns a *partial* result (``cancelled=True``) whose
+        ``pending`` partition lists the unfinished specs, with queue
+        tasks and leases released so a follow-up run completes exactly
+        the remainder.
+    stop:
+        Early-stopping condition (callable or registered name); see
+        :func:`stream_specs`.  A tripped condition returns a partial
+        result with ``stopped=True``.
+    on_failure:
+        ``"raise"`` (default) propagates the first scenario error;
+        ``"continue"`` records failures and keeps sweeping.
     """
-    if jobs < 1:
-        raise ValueError("jobs must be a positive integer")
-    if executor is None:
-        executor = _executor_defaults["executor"]
-    if broker is None and db is None:
-        # Defaults are one queue-target setting: only consult them when the
-        # caller pinned neither target explicitly.
-        db = _executor_defaults["db"]
-        broker = _executor_defaults["broker"]
-    if broker is not None:
-        broker = _validate_broker_url(broker)
-        if executor is None:
-            executor = "distributed"
-    if executor is None:
-        executor = "pool" if jobs > 1 else "inline"
-    if executor not in EXECUTORS:
-        raise ValueError(f"unknown executor {executor!r} (available: {', '.join(EXECUTORS)})")
-    if broker is not None and executor != "distributed":
-        raise ValueError("broker= requires the distributed executor")
-    if broker is not None and db is not None:
-        raise ValueError("pass either db (sqlite path) or broker (service URL), not both")
-    if workers is None:
-        workers = _executor_defaults["workers"]
-    if workers is not None and workers < 1:
-        raise ValueError("workers must be a positive integer")
+    if on_event is None:
+        on_event = _default_on_event
     started = time.perf_counter()
-    fingerprints = [spec.fingerprint() for spec in specs]
+    specs = list(specs)
+    stream = stream_specs(
+        specs,
+        jobs=jobs,
+        cache=cache,
+        executor=executor,
+        workers=workers,
+        db=db,
+        broker=broker,
+        lease_timeout=lease_timeout,
+        cancel=cancel,
+        stop=stop,
+        on_failure=on_failure,
+    )
     results: Dict[int, ScenarioResult] = {}
-    cache_hits = 0
-    pending_by_fingerprint: Dict[str, List[int]] = {}
-    for index, (spec, fingerprint) in enumerate(zip(specs, fingerprints)):
-        cached = cache.get(fingerprint) if cache is not None else None
-        if cached is not None:
-            results[index] = cached
-            cache_hits += 1
-        else:
-            pending_by_fingerprint.setdefault(fingerprint, []).append(index)
-
+    queued: Dict[str, List[int]] = {}
     executed = 0
-    if pending_by_fingerprint:
-        todo = [
-            (fingerprint, specs[indices[0]])
-            for fingerprint, indices in pending_by_fingerprint.items()
-        ]
+    cache_hits = 0
+    failures = 0
+    finished: Optional[SweepFinished] = None
+    interrupted = False
+    try:
+        for event in stream:
+            # Record before notifying: if Ctrl-C lands while the callback
+            # runs (or in reaction to what it printed), the completion the
+            # callback announced is already part of the partial result.
+            if isinstance(event, ScenarioQueued):
+                queued.setdefault(event.fingerprint, []).append(event.index)
+            elif isinstance(event, ScenarioCacheHit):
+                cache_hits += 1
+                for index in queued.get(event.fingerprint, (event.index,)):
+                    results[index] = event.result
+            elif isinstance(event, ScenarioCompleted):
+                executed += 1
+                for index in queued.get(event.fingerprint, (event.index,)):
+                    results[index] = event.result
+            elif isinstance(event, ScenarioFailed):
+                failures += 1
+            elif isinstance(event, SweepFinished):
+                finished = event
+            if on_event is not None:
+                on_event(event)
+    except KeyboardInterrupt:
+        # Ctrl-C mid-sweep: closing the stream (below) terminates pools,
+        # releases unclaimed tasks and drains leases; the work that did
+        # finish is returned as a partial result instead of being lost.
+        interrupted = True
+    finally:
+        stream.close()
 
-        def commit(position: int, outcome: ScenarioResult) -> None:
-            # Cache and fan out each result the moment it exists, so work
-            # already done survives a later scenario failing mid-batch.
-            if cache is not None:
-                cache.put(outcome)
-            for index in pending_by_fingerprint[todo[position][0]]:
-                results[index] = outcome
-
-        done: Dict[int, ScenarioResult] = {}
-        if executor == "distributed":
-            # Imported lazily: repro.distributed depends on repro.api.
-            from repro.distributed import executor as _distributed
-
-            if broker is not None:
-                # None means "the service's attached fleets do the work".
-                fleet = workers
-            else:
-                fleet = workers if workers is not None else (jobs if jobs > 1 else 3)
-            policy = None
-            if lease_timeout is not None:
-                from repro.distributed import LeasePolicy
-
-                policy = LeasePolicy(
-                    timeout=lease_timeout, heartbeat_interval=lease_timeout / 4.0
-                )
-            done, served = _distributed.execute(
-                todo, commit, workers=fleet, db=db, broker=broker, policy=policy
-            )
-            # Scenarios answered by the queue's result store were paid for
-            # by an earlier run: report them as cache hits, not executions.
-            cache_hits += len(served)
-            executed = len(done) - len(served)
-        else:
-            pool_workers = workers if workers is not None else jobs
-            if executor == "pool" and pool_workers > 1 and len(todo) > 1:
-                try:
-                    with concurrent.futures.ProcessPoolExecutor(
-                        max_workers=min(pool_workers, len(todo))
-                    ) as pool:
-                        futures = {
-                            pool.submit(_execute_spec_payload, spec.to_dict()): position
-                            for position, (_, spec) in enumerate(todo)
-                        }
-                        for future in concurrent.futures.as_completed(futures):
-                            position = futures[future]
-                            try:
-                                outcome = ScenarioResult.from_dict(future.result())
-                            except (SpecValidationError, UnknownPluginError):
-                                # Plugins registered only in this process are
-                                # invisible to spawn/forkserver workers (children
-                                # re-import only the builtins); leave the scenario
-                                # for the inline pass below, which can see them.
-                                continue
-                            done[position] = outcome
-                            commit(position, outcome)
-                except concurrent.futures.process.BrokenProcessPool:
-                    pass  # completed scenarios are committed; the rest run inline
-            for position, (_, spec) in enumerate(todo):
-                if position not in done:
-                    outcome = run(spec)
-                    done[position] = outcome
-                    commit(position, outcome)
-            executed = len(done)
-
+    cancelled = interrupted or bool(finished and finished.cancelled)
+    if not cancelled and finished is None and cancel is not None:
+        cancelled = cancel.cancelled()
     return SweepResult(
-        results=tuple(results[index] for index in range(len(specs))),
+        results=tuple(results[index] for index in sorted(results)),
         executed=executed,
         cache_hits=cache_hits,
-        wall_time_s=time.perf_counter() - started,
+        wall_time_s=(
+            finished.elapsed_s if finished is not None else time.perf_counter() - started
+        ),
+        pending=tuple(specs[index] for index in range(len(specs)) if index not in results),
+        failures=failures,
+        cancelled=cancelled,
+        stopped=bool(finished and finished.stopped),
     )
 
 
@@ -546,6 +1082,10 @@ class Sweep:
         db: Optional[Union[str, Path]] = None,
         broker: Optional[str] = None,
         lease_timeout: Optional[float] = None,
+        on_event: Optional[Callable[[SweepEvent], None]] = None,
+        cancel: Optional[CancelToken] = None,
+        stop: Union[None, str, StopCondition] = None,
+        on_failure: str = "raise",
     ) -> SweepResult:
         """Execute the sweep (see :func:`run_specs`)."""
         return run_specs(
@@ -557,4 +1097,37 @@ class Sweep:
             db=db,
             broker=broker,
             lease_timeout=lease_timeout,
+            on_event=on_event,
+            cancel=cancel,
+            stop=stop,
+            on_failure=on_failure,
+        )
+
+    def stream(
+        self,
+        *,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        db: Optional[Union[str, Path]] = None,
+        broker: Optional[str] = None,
+        lease_timeout: Optional[float] = None,
+        cancel: Optional[CancelToken] = None,
+        stop: Union[None, str, StopCondition] = None,
+        on_failure: str = "raise",
+    ) -> Iterator[SweepEvent]:
+        """Execute the sweep as an event stream (see :func:`stream_specs`)."""
+        return stream_specs(
+            self._specs,
+            jobs=jobs,
+            cache=cache,
+            executor=executor,
+            workers=workers,
+            db=db,
+            broker=broker,
+            lease_timeout=lease_timeout,
+            cancel=cancel,
+            stop=stop,
+            on_failure=on_failure,
         )

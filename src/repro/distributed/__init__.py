@@ -30,10 +30,16 @@ either.  The pieces are public for anyone building a custom topology
 (remote workers pointed at a shared service, worker recycling, etc.).
 """
 
-from repro.distributed.broker import Broker, Task, TaskFailedError, TaskRecord
-from repro.distributed.executor import default_db_path, execute
+from repro.distributed.broker import EVENT_KINDS, Broker, Task, TaskFailedError, TaskRecord
+from repro.distributed.executor import default_db_path, execute, execute_stream
 from repro.distributed.leases import Lease, LeaseKeeper, LeasePolicy
-from repro.distributed.store import SqliteResultStore, connect, normalize_db_path
+from repro.distributed.store import (
+    SUMMARY_COLUMNS,
+    SqliteResultStore,
+    connect,
+    normalize_db_path,
+    summary_from_payload,
+)
 from repro.distributed.targets import is_service_url, open_broker, open_store
 from repro.distributed.worker import (
     RestartPolicy,
@@ -51,6 +57,7 @@ __all__ = [
     "Task",
     "TaskRecord",
     "TaskFailedError",
+    "EVENT_KINDS",
     # leases
     "Lease",
     "LeasePolicy",
@@ -65,6 +72,8 @@ __all__ = [
     "make_worker_id",
     # results
     "SqliteResultStore",
+    "SUMMARY_COLUMNS",
+    "summary_from_payload",
     "connect",
     # targets
     "normalize_db_path",
@@ -73,5 +82,6 @@ __all__ = [
     "open_store",
     # driver
     "execute",
+    "execute_stream",
     "default_db_path",
 ]

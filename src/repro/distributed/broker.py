@@ -24,6 +24,14 @@ Task lifecycle::
 Every state transition is one sqlite transaction (``BEGIN IMMEDIATE``
 where read-then-write atomicity matters), so any number of worker
 processes can share the queue without double-claiming a task.
+
+Transitions are also *observable*: each one appends a row to the
+``events`` table — a monotonically-sequenced log of ``queued`` /
+``started`` / ``completed`` / ``failed`` / ``retried`` / ``released``
+records — which :meth:`Broker.events_since` tails.  That log is what
+lets a sweep driver (or the HTTP service's ``events_since`` RPC, and
+through it a dashboard on another host) stream live progress without
+point-reading every task row.
 """
 
 from __future__ import annotations
@@ -40,6 +48,9 @@ from repro.distributed.leases import Lease, LeasePolicy
 
 #: Task states, in roughly the order of the lifecycle.
 TASK_STATES = ("pending", "leased", "done", "failed")
+
+#: Event-log kinds, in roughly the order they occur for one task.
+EVENT_KINDS = ("queued", "started", "completed", "failed", "retried", "released")
 
 
 class TaskFailedError(RuntimeError):
@@ -141,6 +152,7 @@ class Broker:
                 )
                 if cursor.rowcount:
                     added += 1
+                    self._log_event("queued", fingerprint, now=now)
                     continue
                 cursor = self._conn.execute(
                     "UPDATE tasks SET status = 'pending', attempts = 0, lease_owner = NULL, "
@@ -148,7 +160,9 @@ class Broker:
                     "WHERE fingerprint = ? AND status = 'failed'",
                     (now, fingerprint),
                 )
-                added += cursor.rowcount
+                if cursor.rowcount:
+                    added += cursor.rowcount
+                    self._log_event("queued", fingerprint, detail="failed task reset", now=now)
         return added
 
     def drain(self) -> None:
@@ -203,6 +217,7 @@ class Broker:
                     "lease_owner = ?, lease_expires_at = ?, updated_at = ? WHERE fingerprint = ?",
                     (worker_id, expires_at, now, row["fingerprint"]),
                 )
+                self._log_event("started", row["fingerprint"], worker_id=worker_id, now=now)
                 tasks.append(
                     Task(
                         fingerprint=row["fingerprint"],
@@ -255,6 +270,7 @@ class Broker:
                 "WHERE worker_id = ?",
                 (now, worker_id),
             )
+            self._log_event("completed", fingerprint, worker_id=worker_id, now=now)
 
     def fail(self, fingerprint: str, worker_id: str, error: str) -> bool:
         """Mark a task permanently failed (the scenario itself errored).
@@ -277,6 +293,10 @@ class Broker:
                 "WHERE fingerprint = ? AND status = 'leased' AND lease_owner = ?",
                 (str(error), now, fingerprint, worker_id),
             )
+            if cursor.rowcount:
+                self._log_event(
+                    "failed", fingerprint, worker_id=worker_id, detail=str(error), now=now
+                )
         return bool(cursor.rowcount)
 
     def requeue_expired(
@@ -308,6 +328,11 @@ class Broker:
 
     def _sweep_expired_locked(self, now: float) -> Tuple[int, int]:
         """Expire leases inside an already-open transaction."""
+        expired = self._conn.execute(
+            "SELECT fingerprint, lease_owner, attempts, max_attempts FROM tasks "
+            "WHERE status = 'leased' AND lease_expires_at < ?",
+            (now,),
+        ).fetchall()
         exhausted = self._conn.execute(
             "UPDATE tasks SET status = 'failed', "
             "error = 'lease expired after ' || attempts || ' attempts (worker crash?)', "
@@ -321,6 +346,19 @@ class Broker:
             "WHERE status = 'leased' AND lease_expires_at < ?",
             (now, now),
         ).rowcount
+        for row in expired:
+            terminal = row["attempts"] >= row["max_attempts"]
+            self._log_event(
+                "failed" if terminal else "retried",
+                row["fingerprint"],
+                worker_id=row["lease_owner"],
+                detail=(
+                    f"lease expired after {row['attempts']} attempts (worker crash?)"
+                    if terminal
+                    else "lease expired; task requeued"
+                ),
+                now=now,
+            )
         return requeued, exhausted
 
     def release_worker(self, worker_id: str) -> Tuple[int, int]:
@@ -333,6 +371,11 @@ class Broker:
         now = time.time()
         with self._conn:
             self._conn.execute("BEGIN IMMEDIATE")
+            held = self._conn.execute(
+                "SELECT fingerprint, attempts, max_attempts FROM tasks "
+                "WHERE status = 'leased' AND lease_owner = ?",
+                (worker_id,),
+            ).fetchall()
             exhausted = self._conn.execute(
                 "UPDATE tasks SET status = 'failed', "
                 "error = 'worker ' || lease_owner || ' died after ' || attempts || ' attempts', "
@@ -346,7 +389,46 @@ class Broker:
                 "WHERE status = 'leased' AND lease_owner = ?",
                 (now, worker_id),
             ).rowcount
+            for row in held:
+                terminal = row["attempts"] >= row["max_attempts"]
+                self._log_event(
+                    "failed" if terminal else "retried",
+                    row["fingerprint"],
+                    worker_id=worker_id,
+                    detail=(
+                        f"worker {worker_id} died after {row['attempts']} attempts"
+                        if terminal
+                        else f"worker {worker_id} died; lease released"
+                    ),
+                    now=now,
+                )
         return requeued, exhausted
+
+    def release_pending(self, fingerprints: Sequence[str]) -> int:
+        """Remove still-pending tasks from the queue (cancellation path).
+
+        A cancelled sweep calls this for the scenarios nobody claimed, so
+        the queue does not keep work whose driver has gone away.  Only
+        ``pending`` rows are touched — leased, done and failed tasks keep
+        their state (and a later re-enqueue of the same fingerprints is
+        cheap: the queue is content-addressed).  Returns how many tasks
+        were released.
+        """
+        released = 0
+        now = time.time()
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            for fingerprint in fingerprints:
+                cursor = self._conn.execute(
+                    "DELETE FROM tasks WHERE fingerprint = ? AND status = 'pending'",
+                    (fingerprint,),
+                )
+                if cursor.rowcount:
+                    released += 1
+                    self._log_event(
+                        "released", fingerprint, detail="sweep cancelled", now=now
+                    )
+        return released
 
     # ------------------------------------------------------------------
     # Worker liveness
@@ -375,6 +457,57 @@ class Broker:
                 "UPDATE workers SET last_seen_at = ? WHERE worker_id = ?",
                 (time.time(), worker_id),
             )
+
+    # ------------------------------------------------------------------
+    # Event log
+    # ------------------------------------------------------------------
+    def _log_event(
+        self,
+        kind: str,
+        fingerprint: Optional[str] = None,
+        worker_id: Optional[str] = None,
+        detail: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """Append one row to the event log.
+
+        Always called from inside the transaction (or autocommit
+        statement batch) of the state change it records, so a transition
+        and its log row commit — or roll back — together.
+        """
+        self._conn.execute(
+            "INSERT INTO events (ts, kind, fingerprint, worker_id, detail) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (time.time() if now is None else now, kind, fingerprint, worker_id, detail),
+        )
+
+    def last_event_seq(self) -> int:
+        """The newest event-log sequence number (0 for an empty log).
+
+        Capture this *before* enqueueing, then tail with
+        :meth:`events_since` — the window replays exactly your run.
+        """
+        row = self._conn.execute("SELECT MAX(seq) AS seq FROM events").fetchone()
+        return int(row["seq"]) if row["seq"] is not None else 0
+
+    def events_since(self, seq: int = 0, limit: int = 500) -> List[Dict[str, Any]]:
+        """Event-log rows newer than ``seq``, oldest first (at most ``limit``).
+
+        Each row is a JSON-native dict — ``{"seq", "ts", "kind",
+        "fingerprint", "worker_id", "detail"}`` — with ``seq`` strictly
+        monotonic (``AUTOINCREMENT``: sequence numbers are never reused,
+        even across deletes), so ``events_since(last_seen)`` is a
+        complete, gap-free resume point for any observer, including the
+        HTTP service's RPC of the same name.
+        """
+        if limit < 1:
+            raise ValueError("event limit must be a positive integer")
+        rows = self._conn.execute(
+            "SELECT seq, ts, kind, fingerprint, worker_id, detail FROM events "
+            "WHERE seq > ? ORDER BY seq LIMIT ?",
+            (int(seq), int(limit)),
+        ).fetchall()
+        return [{key: row[key] for key in row.keys()} for row in rows]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -472,4 +605,5 @@ class Broker:
             "results": int(results["n"]),
             "workers": self.workers(),
             "draining": self.is_draining(),
+            "events": self.last_event_seq(),
         }

@@ -20,6 +20,8 @@ Installed as ``chronos-experiments``.  Examples::
     chronos-experiments sweep --spec sweep.json --broker https://host:8176 \
         --token SECRET --cafile cert.pem
     chronos-experiments workers status --broker https://host:8176 --expiring
+    chronos-experiments sweep --spec sweep.json --jobs 4 --progress
+    chronos-experiments export --db queue.sqlite --columns fingerprint,pocd,utility
 
 The ``sweep`` command runs a declarative scenario sweep from a JSON file
 of the form::
@@ -45,7 +47,20 @@ automatically), ``status`` prints queue/lease/worker state, and
 ``drain`` asks running workers to exit once no claimable work remains.
 
 ``serve`` runs the HTTP broker front-end that makes multi-host fleets
-possible, and ``export`` dumps a queue database's result store as CSV.
+possible, and ``export`` dumps a queue database's result store as CSV
+(``--columns`` selects straight from the columnar summaries table).
+
+Sweeps are event driven end to end: ``sweep`` and every harness render a
+live progress line (done/total, cache hits, failures, ETA) when stderr
+is a terminal — force it with ``--progress`` (CI logs) or silence it
+with ``--quiet``.  Ctrl-C mid-``sweep`` prints the *partial* result
+before exiting 130; with a ``--cache-dir``, ``--db`` or ``--broker``
+the completed scenarios keep their cache/store entries (and a local
+queue's unclaimed tasks are released), so re-running the same command
+finishes only what is left.  An interrupted harness —
+whose tables need every scenario — exits 130 with a one-line notice
+instead of a traceback, and its finished scenarios likewise survive in
+whatever cache or store the run used.
 
 Security flows through the environment: ``--token``/``--cafile`` (or the
 ``CHRONOS_TOKEN``/``CHRONOS_CAFILE`` variables they export) authenticate
@@ -58,6 +73,7 @@ Rejected credentials are an exit-2 diagnostic, never a retry loop.
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import os
 import sys
@@ -68,11 +84,20 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from repro.api import (
     EXECUTORS,
     ResultCache,
+    ScenarioCacheHit,
+    ScenarioCompleted,
+    ScenarioFailed,
+    ScenarioQueued,
+    ScenarioRetried,
     ScenarioSpec,
     SpecValidationError,
     Sweep,
+    SweepEvent,
+    SweepFinished,
     SweepResult,
+    SweepStarted,
     set_default_executor,
+    set_default_on_event,
 )
 from repro.experiments.common import ExperimentScale, ExperimentTable
 from repro.experiments.figure2 import run_figure2
@@ -279,8 +304,148 @@ def build_parser() -> argparse.ArgumentParser:
             "(dry run — nothing is requeued), for debugging stuck leases remotely"
         ),
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "render a live progress line (done/total, cache hits, failures, ETA) for "
+            "'sweep' and the experiment harnesses; the default is on when stderr is a "
+            "terminal, off otherwise"
+        ),
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the live progress line even on a terminal",
+    )
+    parser.add_argument(
+        "--columns",
+        metavar="COL,COL,...",
+        help=(
+            "comma-separated summary columns for 'export' (e.g. fingerprint,pocd,utility); "
+            "served from the store's columnar summaries table via SQL column select "
+            "instead of parsing result JSON"
+        ),
+    )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     return parser
+
+
+def progress_enabled(args: argparse.Namespace) -> bool:
+    """Whether to render live sweep progress: ``--progress``/``--quiet``
+    force it; otherwise it follows whether stderr is a terminal."""
+    if args.quiet:
+        return False
+    if args.progress:
+        return True
+    try:
+        return sys.stderr.isatty()
+    except (AttributeError, ValueError):
+        return False
+
+
+class ProgressLine:
+    """Render the sweep event stream as a single live progress line.
+
+    Consumes :mod:`repro.api.events` events (one instance handles any
+    number of consecutive sweeps — each ``SweepStarted`` resets it) and
+    writes ``done/total``, cache hits, failures, retries and an ETA to
+    stderr.  On a terminal the line redraws in place; elsewhere (CI logs
+    with ``--progress`` forced on) it emits plain, rate-limited lines.
+    """
+
+    def __init__(self, stream=None, min_interval: float = 0.1):
+        self._stream = stream if stream is not None else sys.stderr
+        try:
+            self._tty = self._stream.isatty()
+        except (AttributeError, ValueError):
+            self._tty = False
+        self._min_interval = min_interval
+        self._last_render = 0.0
+        self._last_width = 0
+        self._reset(0)
+
+    def _reset(self, total: int) -> None:
+        self._total = total
+        self._done = 0
+        self._hits = 0
+        self._failed = 0
+        self._retried = 0
+        self._queued: Dict[str, int] = {}
+
+    def __call__(self, event: SweepEvent) -> None:
+        if isinstance(event, SweepStarted):
+            self._reset(event.total)
+        elif isinstance(event, ScenarioQueued):
+            # duplicate fingerprints queue once per index but complete
+            # once; counting queued indices keeps done/total honest
+            self._queued[event.fingerprint] = self._queued.get(event.fingerprint, 0) + 1
+        elif isinstance(event, ScenarioCompleted):
+            self._done += self._queued.pop(event.fingerprint, 1)
+        elif isinstance(event, ScenarioCacheHit):
+            self._hits += self._queued.pop(event.fingerprint, 1)
+        elif isinstance(event, ScenarioFailed):
+            self._failed += 1
+        elif isinstance(event, ScenarioRetried):
+            self._retried += 1
+        if isinstance(event, SweepFinished):
+            self._render(event.elapsed_s, final=True, cancelled=event.cancelled,
+                         stopped=event.stopped)
+            return
+        now = time.monotonic()
+        if now - self._last_render >= self._min_interval:
+            self._last_render = now
+            self._render(float(getattr(event, "elapsed_s", 0.0)))
+
+    def abort(self) -> None:
+        """Terminate a dangling in-place line (sweep died mid-stream).
+
+        A sweep that errors out (scenario failure under the default
+        ``on_failure="raise"``, an auth rejection, ...) never emits
+        ``SweepFinished``; on a tty the last redraw left the cursor on
+        the progress line, and whatever is printed next — a diagnostic,
+        a traceback — would be glued onto it.  No-op when the line was
+        already finished.
+        """
+        if self._tty and self._last_width:
+            try:
+                self._stream.write("\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass
+            self._last_width = 0
+
+    def _render(
+        self, elapsed_s: float, final: bool = False, cancelled: bool = False,
+        stopped: bool = False,
+    ) -> None:
+        finished = self._done + self._hits
+        parts = [f"sweep {finished}/{self._total}"]
+        if self._hits:
+            parts.append(f"{self._hits} cached")
+        if self._failed:
+            parts.append(f"{self._failed} failed")
+        if self._retried:
+            parts.append(f"{self._retried} retried")
+        remaining = max(0, self._total - finished - self._failed)
+        if final:
+            state = "stopped early" if stopped else ("cancelled" if cancelled else "done")
+            parts.append(f"{state} in {elapsed_s:.1f}s")
+        elif self._done and remaining and elapsed_s > 0:
+            # rate from *executed* completions only: cache hits resolve in
+            # microseconds and would make a resumed sweep's ETA absurd
+            parts.append(f"eta {elapsed_s / self._done * remaining:.0f}s")
+        line = "  ".join(parts)
+        try:
+            if self._tty:
+                padding = " " * max(0, self._last_width - len(line))
+                self._stream.write("\r" + line + padding + ("\n" if final else ""))
+                self._last_width = 0 if final else len(line)
+            else:
+                self._stream.write(line + "\n")
+            self._stream.flush()
+        except (OSError, ValueError):
+            pass  # a closed/broken stderr must never kill the sweep
 
 
 def run_experiments(
@@ -372,6 +537,7 @@ def run_sweep_command(args: argparse.Namespace) -> int:
     distributed = args.executor == "distributed" or args.broker
     from repro.service import ServiceAuthError, ServiceError
 
+    progress = ProgressLine() if progress_enabled(args) else None
     try:
         result = sweep.run(
             jobs=max(1, args.jobs),
@@ -381,6 +547,7 @@ def run_sweep_command(args: argparse.Namespace) -> int:
             db=args.db,
             broker=args.broker,
             lease_timeout=args.lease_timeout if distributed else None,
+            on_event=progress,
         )
     except ServiceAuthError as error:
         print(f"sweep service authentication failed: {error}", file=sys.stderr)
@@ -392,7 +559,30 @@ def run_sweep_command(args: argparse.Namespace) -> int:
         # e.g. a malformed --broker URL or conflicting --db/--broker
         print(f"sweep: {error}", file=sys.stderr)
         return 2
+    finally:
+        if progress is not None:
+            # a sweep that died mid-stream left the tty cursor on the
+            # progress line; diagnostics must not be glued onto it
+            progress.abort()
     _emit_result(result, args.csv)
+    if result.cancelled:
+        # Ctrl-C: the completed partition was printed above; say what is
+        # left and exit with the conventional SIGINT status.  The resume
+        # hint is only true when the finished work survives somewhere —
+        # a cache dir, a durable queue db, or a broker's result store; a
+        # bare pool run (or a throwaway per-run queue) keeps nothing.
+        durable = bool(args.cache_dir or args.db or args.broker)
+        hint = (
+            "re-run the same command to complete only those"
+            if durable
+            else "completed work was not persisted — pass --cache-dir or --db to make "
+            "cancelled sweeps resumable"
+        )
+        print(
+            f"sweep cancelled: {len(result.pending)} scenario(s) pending ({hint})",
+            file=sys.stderr,
+        )
+        return 130
     return 0
 
 
@@ -411,9 +601,13 @@ def run_export_command(args: argparse.Namespace) -> int:
     """Handle ``chronos-experiments export --db FILE --csv OUT``.
 
     Dumps every result in a queue database's store as the same summary
-    rows ``sweep`` prints (``SweepResult.to_rows``) — the cheap, columnar
-    view of a finished distributed run.
+    rows ``sweep`` prints (``SweepResult.to_rows``).  With ``--columns
+    COL,COL,...`` the select is pushed down to the store's columnar
+    ``summaries`` table — a SQL column read, no result-JSON parsing —
+    which is the cheap path for analysis over 10⁵-scenario stores.
     """
+    import csv as _csv
+
     from repro.distributed import SqliteResultStore, normalize_db_path
 
     if not args.db:
@@ -422,6 +616,25 @@ def run_export_command(args: argparse.Namespace) -> int:
     if not normalize_db_path(args.db).is_file():
         print(f"export: no queue database at {args.db}", file=sys.stderr)
         return 2
+    if args.columns:
+        columns = [column.strip() for column in args.columns.split(",") if column.strip()]
+        try:
+            with SqliteResultStore(args.db) as store:
+                rows = store.summary_rows(columns)
+        except ValueError as error:
+            print(f"export: {error}", file=sys.stderr)
+            return 2
+        buffer = io.StringIO()
+        writer = _csv.DictWriter(buffer, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+        if isinstance(args.csv, str):
+            Path(args.csv).write_text(buffer.getvalue())
+            print(f"wrote {len(rows)} result row(s) to {args.csv}")
+        else:
+            print(buffer.getvalue(), end="")
+        return 0
     with SqliteResultStore(args.db) as store:
         results = store.results()
     outcome = SweepResult(
@@ -595,6 +808,9 @@ def format_worker_status(stats: Dict[str, object]) -> str:
             f"draining: {'yes' if stats['draining'] else 'no'}",
         ]
     )
+    if stats.get("events"):
+        # last event-log sequence: `events_since(N)` from here tails live
+        lines.insert(-1, f"events: {stats['events']} logged")
     leased = stats.get("leased") or []
     if leased:
         # Stuck leases are the thing operators look for: attempts climbing
@@ -648,6 +864,7 @@ def run_harness_commands(args: argparse.Namespace) -> int:
     """Run the named experiment harnesses (the default command path)."""
     scale = ExperimentScale(args.scale)
     started = time.time()
+    progress = ProgressLine() if progress_enabled(args) else None
     try:
         if args.executor or args.broker:
             # Reroute every run_specs call in the harnesses without
@@ -655,12 +872,23 @@ def run_harness_commands(args: argparse.Namespace) -> int:
             set_default_executor(
                 args.executor, workers=args.workers, db=args.db, broker=args.broker
             )
+        if progress is not None:
+            # Same trick for the event stream: every harness sweep feeds
+            # one progress line without any experiment knowing about it.
+            set_default_on_event(progress)
         tables = run_experiments(
             args.experiments, scale=scale, seed=args.seed, jobs=max(1, args.jobs)
         )
     except UnknownExperimentError as error:
         print(error, file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Harness tables need every scenario, so there is no partial
+        # table to print — but the interruption exits cleanly (130, the
+        # conventional SIGINT status), not as a traceback.  The sweep
+        # layer already returned/kept whatever work had finished.
+        print("interrupted: experiment harness stopped mid-sweep", file=sys.stderr)
+        return 130
     except Exception as error:
         # Service errors can only have been raised if repro.service is
         # already loaded, so importing it here costs sqlite-only (and
@@ -679,6 +907,9 @@ def run_harness_commands(args: argparse.Namespace) -> int:
             # main() may run in-process (tests, embedding callers): do not
             # leak the default onto unrelated later run_specs calls.
             set_default_executor(None)
+        if progress is not None:
+            set_default_on_event(None)
+            progress.abort()
     for table in tables:
         print(table.to_text())
         print()

@@ -116,6 +116,20 @@ class ExperimentTable:
 # ----------------------------------------------------------------------
 # Simulation helpers shared by the experiments
 # ----------------------------------------------------------------------
+def require_complete(sweep) -> "object":
+    """Re-raise interruption for callers that need every scenario.
+
+    ``run_specs`` turns Ctrl-C into a *partial* :class:`SweepResult`
+    (finished work is worth returning to an interactive sweep), but the
+    experiment harnesses zip results against their scenario lists — a
+    silently-truncated sweep would mislabel rows.  So a partial result
+    here propagates as the :class:`KeyboardInterrupt` it came from.
+    """
+    if getattr(sweep, "partial", False):
+        raise KeyboardInterrupt("experiment sweep interrupted before completion")
+    return sweep
+
+
 def explicit_workload(jobs: Sequence[JobSpec]) -> WorkloadSpec:
     """Wrap concrete job specs as a serializable ``explicit`` workload."""
     return WorkloadSpec("explicit", {"jobs": [job_spec_to_dict(job) for job in jobs]})
@@ -186,7 +200,7 @@ def run_strategy_suite(
         seed=seed,
         per_strategy_params=per_strategy_params,
     )
-    sweep = run_specs(specs, jobs=parallel_jobs, executor=executor)
+    sweep = require_complete(run_specs(specs, jobs=parallel_jobs, executor=executor))
     return {name: result.report for name, result in zip(names, sweep.results)}
 
 

@@ -20,7 +20,12 @@ from typing import List, Optional, Sequence
 
 from repro.api import ScenarioSpec, run_specs
 from repro.core.model import StrategyName
-from repro.experiments.common import ExperimentScale, ExperimentTable, explicit_workload
+from repro.experiments.common import (
+    ExperimentScale,
+    ExperimentTable,
+    explicit_workload,
+    require_complete,
+)
 from repro.hadoop.config import HadoopConfig
 from repro.simulator.cluster import ClusterConfig
 from repro.simulator.entities import JobSpec
@@ -112,7 +117,7 @@ def _fill_rows(
         )
         for strategy_name, tau_est_factor, tau_kill_factor in rows
     ]
-    sweep = run_specs(specs, jobs=parallel_jobs)
+    sweep = require_complete(run_specs(specs, jobs=parallel_jobs))
     for (strategy_name, tau_est_factor, tau_kill_factor), result in zip(rows, sweep.results):
         report = result.report
         label = (

@@ -216,6 +216,9 @@ class HttpBroker:
         requeued, exhausted = self._call("release_worker", worker_id=worker_id)
         return int(requeued), int(exhausted)
 
+    def release_pending(self, fingerprints: Sequence[str]) -> int:
+        return int(self._call("release_pending", fingerprints=list(fingerprints)))
+
     # ------------------------------------------------------------------
     # Worker liveness
     # ------------------------------------------------------------------
@@ -260,6 +263,23 @@ class HttpBroker:
         stats = dict(self._call("stats"))
         stats["url"] = self._url  # where the answer came from, for status output
         return stats
+
+    # ------------------------------------------------------------------
+    # Event log
+    # ------------------------------------------------------------------
+    def last_event_seq(self) -> int:
+        return int(self._call("last_event_seq"))
+
+    def events_since(self, seq: int = 0, limit: int = 500) -> List[Dict[str, Any]]:
+        """Queue-log rows newer than ``seq`` — live progress over HTTP.
+
+        Same contract as :meth:`repro.distributed.Broker.events_since`:
+        strictly monotonic ``seq``, oldest first, at most ``limit`` rows
+        per round trip (batching keeps a hot sweep from ballooning one
+        response).  Tailing this is how a sweep driver — or ``curl`` in a
+        CI job — watches a remote, authenticated sweep make progress.
+        """
+        return [dict(row) for row in self._call("events_since", seq=int(seq), limit=int(limit))]
 
     def close(self) -> None:
         """Nothing to release: calls are independent requests."""

@@ -14,6 +14,14 @@ Everything on the wire is JSON-native: :class:`~repro.distributed.Task`,
 :class:`~repro.distributed.LeasePolicy` cross as plain dicts via the
 ``*_to_wire`` / ``*_from_wire`` helpers here, so the server never pickles
 and any HTTP client can drive a queue.
+
+Queue *progress* crosses the same way: the ``events_since`` method
+relays the broker's monotonic event log as plain dicts (``{"seq", "ts",
+"kind", "fingerprint", "worker_id", "detail"}``), ``last_event_seq``
+answers where the log stands, and ``release_pending`` lets a cancelled
+remote sweep withdraw its unclaimed tasks.  All three are additive —
+protocol version 1 clients keep working against newer servers, and the
+sweep driver degrades to result-store polling against older ones.
 """
 
 from __future__ import annotations

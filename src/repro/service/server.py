@@ -92,6 +92,9 @@ class BrokerService:
                 )
             ),
             "release_worker": lambda worker_id: list(broker.release_worker(worker_id)),
+            "release_pending": lambda fingerprints: broker.release_pending(
+                [str(fingerprint) for fingerprint in fingerprints]
+            ),
             # worker liveness (remote pid travels with the registration)
             "register_worker": broker.register_worker,
             "touch_worker": broker.touch_worker,
@@ -107,6 +110,11 @@ class BrokerService:
             "leased": broker.leased,
             "stats": broker.stats,
             "policy": lambda: policy_to_wire(self._policy),
+            # event log (live sweep progress over the wire)
+            "events_since": lambda seq=0, limit=500: broker.events_since(
+                int(seq), int(limit)
+            ),
+            "last_event_seq": broker.last_event_seq,
             # result store
             "result_get": store.get_payload,
             "result_put": lambda payload, worker_id=None: store.put_payload(

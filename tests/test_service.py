@@ -430,11 +430,14 @@ class TestMultiHostParity:
         ]
 
     def test_fleetless_idle_service_falls_back_inline(self, service):
-        """No fleet attached and none spawned: the parent drains inline."""
+        """No fleet attached and none spawned: the parent drains inline —
+        and says so (RuntimeWarning + ScenarioRetried events) instead of
+        the stall being silent."""
         spec = _tiny_spec()
-        outcome = run_specs(
-            [spec], executor="distributed", broker=service.url, lease_timeout=2.0
-        )
+        with pytest.warns(RuntimeWarning, match="draining the remaining"):
+            outcome = run_specs(
+                [spec], executor="distributed", broker=service.url, lease_timeout=2.0
+            )
         assert outcome.executed == 1
         assert HttpBroker(service.url).counts()["done"] == 1
 
@@ -532,3 +535,84 @@ class TestSupervisedFleetRecovery:
         record = watcher.task(killed["fingerprint"])
         assert record.status == "done"
         assert record.attempts >= 2
+
+
+class TestEventLogRpc:
+    """The broker's monotonic event log crosses the wire unchanged."""
+
+    def test_events_since_relays_the_queue_log(self, service):
+        spec = _tiny_spec()
+        broker = HttpBroker(service.url)
+        assert broker.last_event_seq() == 0
+        assert broker.events_since(0) == []
+        broker.enqueue([spec.to_dict()], [spec.fingerprint()])
+        task = broker.claim("w1")
+        broker.complete(task.fingerprint, "w1", run(ScenarioSpec.from_dict(task.payload)).to_dict())
+        events = broker.events_since(0)
+        assert [e["kind"] for e in events] == ["queued", "started", "completed"]
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        assert broker.last_event_seq() == seqs[-1]
+        assert events[1]["worker_id"] == "w1"
+        assert all(e["fingerprint"] == spec.fingerprint() for e in events)
+        # resuming from the last seen seq yields nothing new
+        assert broker.events_since(seqs[-1]) == []
+        # batching: limit caps one round trip, seq resumes the tail
+        first, second = broker.events_since(0, limit=2), broker.events_since(2)
+        assert [e["seq"] for e in first + second] == seqs
+
+    def test_release_pending_over_http(self, service):
+        specs = [_tiny_spec(seed=s) for s in range(3)]
+        broker = HttpBroker(service.url)
+        broker.enqueue([s.to_dict() for s in specs], [s.fingerprint() for s in specs])
+        claimed = broker.claim("w1")
+        released = broker.release_pending([s.fingerprint() for s in specs])
+        assert released == 2  # the claimed task keeps its lease
+        counts = broker.counts()
+        assert counts["pending"] == 0 and counts["leased"] == 1
+        assert claimed.fingerprint == broker.tasks("leased")[0].fingerprint
+
+    def test_lease_expiry_is_logged_as_retried(self, service):
+        spec = _tiny_spec()
+        broker = HttpBroker(service.url)
+        broker.enqueue([spec.to_dict()], [spec.fingerprint()])
+        broker.claim("zombie")
+        time.sleep(FAST.timeout + 0.1)
+        broker.requeue_expired()
+        kinds = [e["kind"] for e in broker.events_since(0)]
+        assert kinds == ["queued", "started", "retried"]
+
+    def test_sweep_streams_live_events_over_http(self, service):
+        """Acceptance: per-scenario events arrive before the sweep ends."""
+        from repro.api import ScenarioCompleted, SweepFinished, SweepStarted, stream_specs
+
+        specs = [_tiny_spec(seed=s) for s in range(4)]
+        events = list(
+            stream_specs(specs, executor="distributed", broker=service.url, workers=2)
+        )
+        assert isinstance(events[0], SweepStarted)
+        assert isinstance(events[-1], SweepFinished) and events[-1].executed == 4
+        completed = [e for e in events if isinstance(e, ScenarioCompleted)]
+        assert sorted(e.fingerprint for e in completed) == sorted(
+            s.fingerprint() for s in specs
+        )
+        # incrementality: the first completion is not the stream's last word
+        first_completion = events.index(completed[0])
+        assert first_completion < len(events) - 2
+
+
+class TestFleetlessStallObservability:
+    def test_inline_drain_fallback_warns_and_emits_retries(self, service):
+        """The stall fallback is announced, not silent (PR 5 satellite)."""
+        from repro.api import ScenarioRetried, stream_specs
+
+        spec = _tiny_spec()
+        with pytest.warns(RuntimeWarning, match="no worker fleet attached"):
+            events = list(
+                stream_specs(
+                    [spec], executor="distributed", broker=service.url, lease_timeout=2.0
+                )
+            )
+        retried = [e for e in events if isinstance(e, ScenarioRetried)]
+        assert any("draining inline" in e.reason for e in retried)
+        assert events[-1].executed == 1  # the drain still completed the sweep

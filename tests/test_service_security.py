@@ -336,6 +336,49 @@ class TestSecuredSweepAcceptance:
             server.shutdown()
             server.server_close()
 
+    def test_stream_yields_incrementally_over_https_with_token(
+        self, tmp_path, clean_env, tls_material
+    ):
+        """Acceptance: per-scenario events stream live through TLS + auth."""
+        from repro.api import (
+            ScenarioCompleted,
+            SweepFinished,
+            SweepStarted,
+            stream_specs,
+        )
+        from repro.service import HttpBroker
+
+        certfile, keyfile = tls_material
+        server, url = _serve(
+            tmp_path / "q.sqlite", token=TOKEN, certfile=certfile, keyfile=keyfile
+        )
+        clean_env.setenv(TOKEN_ENV, TOKEN)
+        clean_env.setenv(CAFILE_ENV, str(certfile))
+        specs = [_tiny_spec(seed=s) for s in range(4)]
+        try:
+            stream = stream_specs(
+                specs, executor="distributed", broker=url, workers=2,
+                lease_timeout=FAST.timeout,
+            )
+            first = next(stream)
+            assert isinstance(first, SweepStarted)
+            # the first event arrived before the last scenario finished —
+            # indeed before any scenario was even enqueued server-side
+            assert HttpBroker(url).counts()["done"] == 0
+            events = [first] + list(stream)
+            completed = [e for e in events if isinstance(e, ScenarioCompleted)]
+            assert sorted(e.fingerprint for e in completed) == sorted(
+                spec.fingerprint() for spec in specs
+            )
+            assert isinstance(events[-1], SweepFinished)
+            assert events[-1].executed == 4
+            # the event log itself is reachable over https with the token
+            tail = HttpBroker(url).events_since(0, limit=100)
+            assert tail and [e["seq"] for e in tail] == sorted(e["seq"] for e in tail)
+        finally:
+            server.shutdown()
+            server.server_close()
+
 
 class TestCliDiagnostics:
     def test_workers_status_with_bad_token_is_exit_2(self, secured, capsys):

@@ -1,0 +1,157 @@
+"""Tests of the columnar ``summaries`` table and ``export --columns``.
+
+The result store keeps full ``ScenarioResult`` JSON blobs; the summaries
+table is the flat, queryable companion: written on ``put_payload``,
+backfilled lazily for rows written by other paths (the broker's
+``complete``), and served to the CLI's ``export --columns`` as a SQL
+column select — no JSON parsing on the read path.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.api import ScenarioSpec, SweepResult, WorkloadSpec, job_spec_to_dict, run, run_specs
+from repro.distributed import (
+    SUMMARY_COLUMNS,
+    Broker,
+    SqliteResultStore,
+    summary_from_payload,
+)
+from repro.simulator.entities import JobSpec
+
+
+def _spec(seed: int = 0) -> ScenarioSpec:
+    jobs = [
+        job_spec_to_dict(
+            JobSpec(
+                job_id=f"j{i}", num_tasks=3, deadline=90.0, tmin=15.0, beta=1.5,
+                submit_time=2.0 * i,
+            )
+        )
+        for i in range(3)
+    ]
+    return ScenarioSpec(
+        workload=WorkloadSpec("explicit", {"jobs": jobs}),
+        strategy="s-resume",
+        strategy_params={"tau_est": 30.0, "tau_kill": 60.0, "fixed_r": 1},
+        cluster={"num_nodes": 0},
+        seed=seed,
+    )
+
+
+class TestSummaryFromPayload:
+    def test_matches_sweep_result_rows(self):
+        """One formula, two paths: payload flattening == SweepResult.to_rows."""
+        outcome = run_specs([_spec()])
+        expected = outcome.to_rows()[0]
+        summary = summary_from_payload(outcome.results[0].to_dict())
+        assert summary == expected
+
+    def test_columns_stay_in_lockstep_with_sweep_result(self):
+        assert SUMMARY_COLUMNS == SweepResult.COLUMNS
+
+    def test_corrupt_payload_is_none_not_an_error(self):
+        assert summary_from_payload({}) is None
+        assert summary_from_payload({"spec": {}, "report": {}}) is None
+        assert summary_from_payload({"spec": None, "report": None, "fingerprint": "f"}) is None
+
+    def test_infinite_utility_is_representable(self):
+        result = run(_spec())
+        payload = result.to_dict()
+        # PoCD at or below the SLA floor drives utility to -inf
+        payload["spec"]["strategy_params"]["r_min_pocd"] = payload["report"]["pocd"]
+        summary = summary_from_payload(payload)
+        assert summary["utility"] == -math.inf
+
+
+class TestStoreSummaries:
+    def test_put_payload_writes_the_summary_row(self, tmp_path):
+        result = run(_spec())
+        with SqliteResultStore(tmp_path / "q.sqlite") as store:
+            store.put(result)
+            rows = store.summary_rows()
+            assert len(rows) == 1
+            assert rows[0]["fingerprint"] == result.fingerprint
+            assert rows[0]["strategy"] == "s-resume"
+            assert rows[0]["pocd"] == result.report.pocd
+            assert store.backfill_summaries() == 0  # nothing left to do
+
+    def test_broker_written_rows_are_backfilled_lazily(self, tmp_path):
+        """The broker's ``complete`` bypasses ``put_payload`` on purpose."""
+        db = tmp_path / "q.sqlite"
+        results = [run(_spec(seed)) for seed in (0, 1)]
+        with Broker(db) as broker:
+            broker.enqueue(
+                [result.spec.to_dict() for result in results],
+                [result.fingerprint for result in results],
+            )
+            for result in results:
+                task = broker.claim("w-1")
+                broker.complete(task.fingerprint, "w-1", result.to_dict())
+        with SqliteResultStore(db) as store:
+            raw = store._conn.execute("SELECT COUNT(*) AS n FROM summaries").fetchone()
+            assert raw["n"] == 0  # nothing written eagerly
+            rows = store.summary_rows(["fingerprint", "seed"])
+            assert {row["fingerprint"] for row in rows} == {r.fingerprint for r in results}
+            assert sorted(row["seed"] for row in rows) == [0, 1]
+            raw = store._conn.execute("SELECT COUNT(*) AS n FROM summaries").fetchone()
+            assert raw["n"] == 2  # backfilled exactly once
+            assert store.backfill_summaries() == 0
+
+    def test_column_pushdown_validates_names(self, tmp_path):
+        with SqliteResultStore(tmp_path / "q.sqlite") as store:
+            store.put(run(_spec()))
+            assert store.summary_rows(["pocd"]) == [
+                {"pocd": pytest.approx(store.results()[0].report.pocd)}
+            ]
+            with pytest.raises(ValueError, match="unknown summary column"):
+                store.summary_rows(["pocd", "bogus"])
+            with pytest.raises(ValueError, match="at least one"):
+                store.summary_rows([])
+
+    def test_corrupt_result_rows_are_skipped(self, tmp_path):
+        db = tmp_path / "q.sqlite"
+        with SqliteResultStore(db) as store:
+            store.put(run(_spec()))
+            store._conn.execute(
+                "INSERT INTO results (fingerprint, payload, created_at) "
+                "VALUES ('broken', '{not json', 0.0)"
+            )
+            store._conn.commit()
+            rows = store.summary_rows()
+            assert len(rows) == 1  # the corrupt row stays summary-less
+
+
+class TestExportColumnsCli:
+    def test_export_columns_pushdown(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        db = tmp_path / "q.sqlite"
+        with SqliteResultStore(db) as store:
+            for seed in (0, 1):
+                store.put(run(_spec(seed)))
+        assert main(["export", "--db", str(db), "--columns", "fingerprint,seed,pocd"]) == 0
+        out = capsys.readouterr().out
+        header, *body = [line for line in out.splitlines() if line]
+        assert header == "fingerprint,seed,pocd"
+        assert len(body) == 2
+        # unknown columns are an exit-2 diagnostic
+        assert main(["export", "--db", str(db), "--columns", "nope"]) == 2
+        assert "unknown summary column" in capsys.readouterr().err
+
+    def test_export_columns_to_file(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        db = tmp_path / "q.sqlite"
+        with SqliteResultStore(db) as store:
+            store.put(run(_spec()))
+        target = tmp_path / "out.csv"
+        assert (
+            main(["export", "--db", str(db), "--columns", "seed,utility", "--csv", str(target)])
+            == 0
+        )
+        assert target.read_text().splitlines()[0] == "seed,utility"
+        assert "wrote 1 result row(s)" in capsys.readouterr().out
