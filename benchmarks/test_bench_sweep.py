@@ -168,6 +168,117 @@ def _timed(fn) -> float:
     return time.perf_counter() - started
 
 
+def _search_base():
+    """A tight-deadline variant of the sweep workload for adaptive search.
+
+    ``deadline=30`` with ``tau_est=10/tau_kill=20`` puts the scenarios on
+    an actual PoCD frontier over ``strategy_params.fixed_r`` (0.25 → 1.0
+    as replicas are added) instead of the comfortable 90-second deadline
+    every configuration meets.
+    """
+    jobs = [
+        JobSpec(
+            job_id=f"j{i}", num_tasks=4, deadline=30.0, tmin=15.0, beta=1.5, submit_time=2.0 * i
+        )
+        for i in range(4)
+    ]
+    return ScenarioSpec(
+        workload=WorkloadSpec("explicit", {"jobs": [job_spec_to_dict(j) for j in jobs]}),
+        strategy="s-resume",
+        strategy_params={"tau_est": 10.0, "tau_kill": 20.0, "fixed_r": 1},
+        cluster={"num_nodes": 0},
+    )
+
+
+#: Replica-count configurations the halving search races (r=0 is left
+#: out: a single catastrophic late-seed draw makes its full-grid mean
+#: diverge from every prefix mean, which is a property of the workload,
+#: not of the search).
+HALVING_CONFIGS = list(range(1, 9))
+#: Seed replicas per configuration (the halving resource axis).
+HALVING_SEEDS = list(range(8))
+
+
+@pytest.mark.parametrize("executor", ["inline", "distributed"])
+def test_search_vs_grid_scenarios_to_best(benchmark, executor, tmp_path):
+    """Adaptive search must reach the grid-optimal config on ≤ 50% of the grid.
+
+    The PR 6 comparison: ``successive_halving`` races the replica
+    configurations on progressively more seeds, and ``frontier_bisect``
+    answers the paper's Fig. 4/5 question (cheapest ``fixed_r`` with
+    PoCD ≥ target) by bisection — both must land on the exact
+    configuration the exhaustive grid picks while *executing* at most
+    half of its scenarios, on the inline and distributed backends alike.
+    """
+    import statistics
+
+    from repro.api import Sweep, run_search
+
+    base = _search_base()
+    exec_kwargs = {}
+    if executor == "distributed":
+        exec_kwargs = {"executor": "distributed", "workers": 2, "db": tmp_path / "queue.sqlite"}
+
+    # The exhaustive baseline: every config x every seed, aggregated by hand.
+    grid = Sweep.grid(
+        base, {"strategy_params.fixed_r": HALVING_CONFIGS, "seed": HALVING_SEEDS}
+    ).run(**exec_kwargs)
+    by_config = {}
+    for result in grid.results:
+        by_config.setdefault(result.spec.strategy_params.fixed_r, []).append(
+            result.report.mean_cost
+        )
+    grid_best = min(by_config, key=lambda r: statistics.mean(by_config[r]))
+    # the grid frontier: cheapest config whose PoCD clears the target
+    feasible = {
+        result.spec.strategy_params.fixed_r: result.report.mean_cost
+        for result in grid.results
+        if result.spec.seed == 0 and result.report.pocd >= 0.9
+    }
+    grid_frontier = min(feasible, key=feasible.get)
+
+    def search_once():
+        if executor == "distributed":
+            db = exec_kwargs["db"]
+            for leftover in db.parent.glob(db.name + "*"):
+                leftover.unlink()
+        halving = run_search(
+            base,
+            {"strategy_params.fixed_r": HALVING_CONFIGS, "seed": HALVING_SEEDS},
+            algorithm="successive_halving",
+            objective="cost",
+            on_event=lambda event: None,
+            **exec_kwargs,
+        )
+        bisect = run_search(
+            base,
+            {"strategy_params.fixed_r": sorted(HALVING_CONFIGS)},
+            algorithm="frontier_bisect",
+            objective="cost",
+            algorithm_params={"min_pocd": 0.9},
+            on_event=lambda event: None,
+            **exec_kwargs,
+        )
+        return halving, bisect
+
+    halving, bisect = benchmark.pedantic(search_once, rounds=1, iterations=1)
+
+    grid_size = len(HALVING_CONFIGS) * len(HALVING_SEEDS)
+    assert halving.best_params["strategy_params.fixed_r"] == grid_best
+    assert halving.executed <= grid_size // 2, (
+        f"successive_halving executed {halving.executed} of a {grid_size} grid"
+    )
+    assert bisect.best_params == {"strategy_params.fixed_r": grid_frontier}
+    assert bisect.executed <= len(HALVING_CONFIGS) // 2, (
+        f"frontier_bisect executed {bisect.executed} of {len(HALVING_CONFIGS)} candidates"
+    )
+    benchmark.extra_info["executor"] = executor
+    benchmark.extra_info["grid_scenarios"] = grid_size
+    benchmark.extra_info["halving_executed"] = halving.executed
+    benchmark.extra_info["halving_saving"] = 1.0 - halving.executed / grid_size
+    benchmark.extra_info["bisect_executed"] = bisect.executed
+
+
 def test_events_since_drain_throughput(benchmark, tmp_path):
     """Events/sec through batched ``events_since`` reads.
 

@@ -1,0 +1,719 @@
+"""The search driver: ask/tell algorithms executed as scenario batches.
+
+:func:`stream_search` is to adaptive search what
+:func:`repro.api.stream_specs` is to grid sweeps — the one execution
+path, yielding events as they happen.  Each iteration asks the algorithm
+for a batch of proposals, converts them to
+:class:`~repro.api.spec.ScenarioSpec`\\ s via ``base.with_overrides``,
+replays any trial the :class:`~repro.adaptive.ledger.TrialLedger`
+already settled (zero re-execution on resume), runs the rest through
+:func:`stream_specs` on whatever executor backend the caller chose
+(inline, pool, distributed sqlite queue, or a remote HTTP service with
+auth + TLS — all unchanged), tells the oriented objective scores back,
+and surfaces what the algorithm pruned.
+
+The stream speaks the ordinary :class:`~repro.api.events.SweepEvent`
+vocabulary — scenario lifecycle events of each executed batch are
+forwarded verbatim — plus three search-specific members:
+``TrialProposed``, ``TrialPruned`` and a final ``SearchFinished``.  Stop
+conditions, :class:`~repro.api.CancelToken` cancellation and Ctrl-C
+partial-result semantics therefore work for searches exactly as they do
+for grids.
+
+When the search targets a distributed queue (``db=``) or a broker
+service (``broker=``), trial proposals and prunes are also appended —
+best effort — to the broker's event log, so ``workers status`` and the
+``events_since`` RPC show the *search's* decisions next to the queue's
+task lifecycle.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.adaptive.algorithms import AlgorithmAdapter, Proposal, make_algorithm
+from repro.adaptive.ledger import TrialLedger, TrialRecord
+from repro.adaptive.objectives import Objective, make_objective, summary_metrics
+from repro.api.events import (
+    ScenarioCacheHit,
+    ScenarioCompleted,
+    ScenarioFailed,
+    SearchFinished,
+    SweepEvent,
+    SweepFinished,
+    SweepStarted,
+    TrialProposed,
+    TrialPruned,
+)
+from repro.api.facade import ScenarioResult
+from repro.api.spec import ScenarioSpec, SpecValidationError
+from repro.api.sweep import (
+    CancelToken,
+    ResultCache,
+    StopCondition,
+    _resolve_stop,
+    default_on_event,
+    stream_specs,
+)
+
+
+class _TrialEventLog:
+    """Best-effort mirror of trial decisions into a broker's event log.
+
+    Opens the broker lazily (sqlite path or service URL, via
+    :func:`repro.distributed.targets.open_broker`) and disables itself
+    permanently on the first failure — a search must never die because
+    its progress mirror did.
+    """
+
+    def __init__(self, target: Optional[Union[str, Path]]):
+        self._target = target
+        self._broker: Any = None
+        self._dead = target is None
+
+    def log(self, kind: str, fingerprint: Optional[str], detail: Optional[str]) -> None:
+        if self._dead:
+            return
+        try:
+            if self._broker is None:
+                from repro.distributed.targets import open_broker
+
+                self._broker = open_broker(self._target)
+            self._broker.record_event(kind, fingerprint=fingerprint, detail=detail)
+        except Exception:
+            self._dead = True
+
+    def close(self) -> None:
+        if self._broker is not None:
+            try:
+                self._broker.close()
+            except Exception:
+                pass
+            self._broker = None
+
+
+def stream_search(
+    base: ScenarioSpec,
+    axes: Mapping[str, Sequence[Any]],
+    *,
+    algorithm: str = "random",
+    objective: Union[str, Objective] = "utility",
+    algorithm_params: Optional[Mapping[str, Any]] = None,
+    max_trials: Optional[int] = None,
+    batch: int = 8,
+    seed: int = 0,
+    ledger: Optional[Union[str, Path, TrialLedger]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
+    db: Optional[Union[str, Path]] = None,
+    broker: Optional[str] = None,
+    lease_timeout: Optional[float] = None,
+    cancel: Optional[CancelToken] = None,
+    stop: Union[None, str, StopCondition] = None,
+    on_failure: str = "continue",
+) -> Iterator[SweepEvent]:
+    """Run an adaptive search, yielding events as they happen.
+
+    Parameters
+    ----------
+    base:
+        The spec every proposal's overrides are applied to.
+    axes:
+        Dotted-path search axes (``{"strategy_params.fixed_r": [0, 1,
+        2]}``) — the same shape :meth:`repro.api.Sweep.grid` takes;
+        algorithms decide how to explore them.
+    algorithm:
+        Registered algorithm name (``random``, ``grid``,
+        ``successive_halving``, ``frontier_bisect``, or anything added
+        via :func:`~repro.adaptive.algorithms.register_algorithm`).
+    objective:
+        Registered objective name (or an
+        :class:`~repro.adaptive.objectives.Objective`); the driver
+        orients values so the best trial always maximizes the score.
+    algorithm_params:
+        Extra keyword configuration for the algorithm factory
+        (``{"eta": 2, "min_pocd": 0.99}``, ...).
+    max_trials:
+        Budget of resolved trials (replayed ledger trials count — the
+        budget is about search progress, not compute).  ``None`` runs
+        until the algorithm finishes.
+    batch:
+        How many proposals to request and execute per round; with a
+        parallel executor this is the fan-out unit.
+    seed:
+        Seed for stochastic algorithms (``random``).
+    ledger:
+        Path of the trial ledger (or an open :class:`TrialLedger`).
+        ``None`` keeps trials in memory — the search works but cannot
+        resume.  A ledger written by a different algorithm, objective or
+        base spec is refused.
+    jobs / cache / executor / workers / db / broker / lease_timeout:
+        Executor options, passed to :func:`repro.api.stream_specs`
+        unchanged — a search runs anywhere a sweep does.  ``cache``
+        defaults to a fresh in-memory :class:`ResultCache` so duplicate
+        fingerprints across batches never re-execute.
+    cancel / stop / on_failure:
+        Control surface, as in :func:`stream_specs` — the stop condition
+        sees every forwarded scenario event *and* the search events.
+        ``on_failure`` defaults to ``"continue"`` (a failed trial is an
+        infeasible data point, not a reason to abort the search).
+    """
+    if not isinstance(base, ScenarioSpec):
+        raise SpecValidationError("base", f"expected ScenarioSpec, got {type(base).__name__}")
+    if not isinstance(axes, Mapping) or not axes:
+        raise SpecValidationError(
+            "axes", "must be a non-empty mapping of dotted paths to value lists"
+        )
+    if batch < 1:
+        raise ValueError("batch must be a positive integer")
+    if max_trials is not None and max_trials < 1:
+        raise ValueError("max_trials must be a positive integer or None")
+    if on_failure not in ("raise", "continue"):
+        raise ValueError(f"on_failure must be 'raise' or 'continue', got {on_failure!r}")
+    objective_obj = make_objective(objective)
+    algo = make_algorithm(algorithm, axes, seed=seed, **dict(algorithm_params or {}))
+    own_ledger = not isinstance(ledger, TrialLedger)
+    book = ledger if isinstance(ledger, TrialLedger) else TrialLedger(ledger)
+    try:
+        book.claim_meta("algorithm", algo.name)
+        book.claim_meta("objective", objective_obj.name)
+        book.claim_meta("base_fingerprint", base.fingerprint())
+    except Exception:
+        if own_ledger:
+            book.close()
+        raise
+    token = cancel if cancel is not None else CancelToken()
+    stop_condition = _resolve_stop(stop)
+    exec_opts = dict(
+        jobs=jobs,
+        cache=cache if cache is not None else ResultCache(),
+        executor=executor,
+        workers=workers,
+        db=db,
+        broker=broker,
+        lease_timeout=lease_timeout,
+        on_failure=on_failure,
+    )
+    return _search_stream(
+        base,
+        algo,
+        objective_obj,
+        book,
+        own_ledger,
+        max_trials=max_trials,
+        batch=batch,
+        token=token,
+        stop_condition=stop_condition,
+        exec_opts=exec_opts,
+        log_target=broker if broker is not None else db,
+    )
+
+
+def _search_stream(
+    base: ScenarioSpec,
+    algo: AlgorithmAdapter,
+    objective: Objective,
+    book: TrialLedger,
+    own_ledger: bool,
+    *,
+    max_trials: Optional[int],
+    batch: int,
+    token: CancelToken,
+    stop_condition: Optional[StopCondition],
+    exec_opts: Dict[str, Any],
+    log_target: Optional[Union[str, Path]],
+) -> Iterator[SweepEvent]:
+    """The generator behind :func:`stream_search` (options pre-validated)."""
+    started = time.perf_counter()
+
+    def clock() -> float:
+        return time.perf_counter() - started
+
+    trials = executed = cache_hits = failures = pruned_total = 0
+    stopped = False
+
+    def note(event: SweepEvent) -> None:
+        nonlocal stopped
+        if stop_condition is not None and not stopped and stop_condition(event):
+            stopped = True
+            token.cancel()
+
+    mirror = _TrialEventLog(log_target)
+    try:
+        while not token.cancelled():
+            if max_trials is not None and trials >= max_trials:
+                break
+            if algo.finished():
+                break
+            want = batch if max_trials is None else min(batch, max_trials - trials)
+            proposals = algo.ask(want)
+            if not proposals:
+                # Either finished, or waiting on trials that will never
+                # arrive (cancelled mid-batch); both end the loop.
+                break
+
+            fresh: List[Tuple[Proposal, ScenarioSpec, str]] = []
+            for proposal in proposals:
+                record = book.get(proposal.trial_id)
+                if record is not None and record.state in ("completed", "failed"):
+                    # Replay from the ledger: the trial is settled, the
+                    # algorithm just has not heard about it yet.
+                    event: SweepEvent = TrialProposed(
+                        trial_id=proposal.trial_id,
+                        params=dict(proposal.params),
+                        fingerprint=record.fingerprint or "",
+                        algorithm=algo.name,
+                        elapsed_s=clock(),
+                    )
+                    yield event
+                    note(event)
+                    if record.state == "completed":
+                        algo.tell(proposal.trial_id, record.score, record.metrics)
+                    else:
+                        failures += 1
+                        algo.tell(proposal.trial_id, None)
+                    trials += 1
+                    continue
+                spec = base.with_overrides(proposal.params)
+                fingerprint = spec.fingerprint()
+                book.propose(proposal.trial_id, proposal.params)
+                book.lease(proposal.trial_id, fingerprint)
+                event = TrialProposed(
+                    trial_id=proposal.trial_id,
+                    params=dict(proposal.params),
+                    fingerprint=fingerprint,
+                    algorithm=algo.name,
+                    elapsed_s=clock(),
+                )
+                yield event
+                note(event)
+                mirror.log("trial-proposed", fingerprint, detail=proposal.trial_id)
+                fresh.append((proposal, spec, fingerprint))
+
+            outcome: Dict[str, ScenarioResult] = {}
+            failed_fingerprints: set = set()
+            if fresh and not token.cancelled():
+                inner = stream_specs(
+                    [spec for _, spec, _ in fresh], cancel=token, stop=None, **exec_opts
+                )
+                try:
+                    for event in inner:
+                        if isinstance(event, SweepStarted):
+                            continue  # the search, not each batch, frames the run
+                        if isinstance(event, SweepFinished):
+                            executed += event.executed
+                            cache_hits += event.cache_hits
+                            continue
+                        if (
+                            isinstance(event, (ScenarioCompleted, ScenarioCacheHit))
+                            and event.result is not None
+                        ):
+                            outcome[event.fingerprint] = event.result
+                        elif isinstance(event, ScenarioFailed):
+                            failed_fingerprints.add(event.fingerprint)
+                        yield event
+                        note(event)
+                finally:
+                    inner.close()
+
+            for proposal, _spec, fingerprint in fresh:
+                result = outcome.get(fingerprint)
+                if result is not None:
+                    value = objective.value(result)
+                    score = objective.orient(value)
+                    metrics = summary_metrics(result)
+                    book.complete(proposal.trial_id, value, score, metrics)
+                    algo.tell(proposal.trial_id, score, metrics)
+                    trials += 1
+                elif fingerprint in failed_fingerprints:
+                    failures += 1
+                    book.fail(proposal.trial_id, "scenario failed")
+                    algo.tell(proposal.trial_id, None)
+                    trials += 1
+                # else: cancelled before it ran — left leased for resume.
+
+            for proposal, reason in algo.drain_pruned():
+                book.prune(proposal.trial_id, proposal.params, reason)
+                pruned_total += 1
+                event = TrialPruned(
+                    trial_id=proposal.trial_id,
+                    params=dict(proposal.params),
+                    reason=reason,
+                    algorithm=algo.name,
+                    elapsed_s=clock(),
+                )
+                yield event
+                note(event)
+                mirror.log("trial-pruned", None, detail=f"{proposal.trial_id}: {reason}")
+
+        best = _resolve_best(algo, book)
+        finished = SearchFinished(
+            algorithm=algo.name,
+            objective=objective.name,
+            trials=trials,
+            executed=executed,
+            cache_hits=cache_hits,
+            pruned=pruned_total,
+            failures=failures,
+            best_trial_id=best.trial_id if best is not None else None,
+            best_objective=best.objective if best is not None else None,
+            cancelled=token.cancelled() and not stopped,
+            stopped=stopped,
+            elapsed_s=clock(),
+        )
+        mirror.log(
+            "search-finished",
+            None,
+            detail=(
+                f"{algo.name}: {trials} trials, {executed} executed, "
+                f"{pruned_total} pruned"
+            ),
+        )
+        yield finished
+        note(finished)
+    finally:
+        mirror.close()
+        if own_ledger:
+            book.close()
+
+
+def _resolve_best(algo: AlgorithmAdapter, book: TrialLedger) -> Optional[TrialRecord]:
+    """The search's answer: the algorithm's pick, else the best score."""
+    best_id = algo.best_trial_id()
+    if best_id is not None:
+        record = book.get(best_id)
+        if record is not None and record.state == "completed":
+            return record
+    return book.best()
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one adaptive search.
+
+    ``trials`` holds every ledger row in proposal order — completed,
+    failed, pruned and (after a cancellation) still-leased ones — so the
+    full decision trail survives into analysis.  ``best`` is the
+    search's answer: the algorithm's own pick when it has one
+    (``frontier_bisect``), otherwise the completed trial with the best
+    oriented score.
+    """
+
+    algorithm: str
+    objective: str
+    trials: Tuple[TrialRecord, ...]
+    best: Optional[TrialRecord]
+    executed: int
+    cache_hits: int
+    pruned: int
+    failures: int
+    wall_time_s: float
+    cancelled: bool = False
+    stopped: bool = False
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def __iter__(self) -> Iterator[TrialRecord]:
+        return iter(self.trials)
+
+    @property
+    def partial(self) -> bool:
+        """Whether the search ended before its algorithm finished."""
+        return self.cancelled or self.stopped
+
+    @property
+    def best_params(self) -> Optional[Dict[str, Any]]:
+        """The winning override mapping, or ``None``."""
+        return dict(self.best.params) if self.best is not None else None
+
+    @property
+    def best_objective(self) -> Optional[float]:
+        """The winning trial's raw objective value, or ``None``."""
+        return self.best.objective if self.best is not None else None
+
+    @property
+    def completed(self) -> Tuple[TrialRecord, ...]:
+        """The completed trials, in proposal order."""
+        return tuple(record for record in self.trials if record.state == "completed")
+
+    #: Columns of the tabular exports, in order.
+    COLUMNS = ("trial_id", "state", "objective", "score", "fingerprint", "params")
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """One summary dict per trial (columns in :attr:`COLUMNS`)."""
+        rows = []
+        for record in self.trials:
+            rows.append(
+                {
+                    "trial_id": record.trial_id,
+                    "state": record.state,
+                    "objective": record.objective,
+                    "score": record.score,
+                    "fingerprint": record.fingerprint or "",
+                    "params": ", ".join(
+                        f"{key}={value}" for key, value in sorted(record.params.items())
+                    ),
+                }
+            )
+        return rows
+
+    def to_csv(self) -> str:
+        """The trial rows as CSV text."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(self.COLUMNS))
+        writer.writeheader()
+        for row in self.to_rows():
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def to_text(self, float_format: str = "{:.4g}") -> str:
+        """The trial table plus a one-line summary, aligned for a terminal."""
+        header = list(self.COLUMNS)
+        body = []
+        for row in self.to_rows():
+            rendered = []
+            for column in header:
+                value = row[column]
+                if isinstance(value, float):
+                    rendered.append(float_format.format(value))
+                else:
+                    rendered.append("" if value is None else str(value))
+            body.append(rendered)
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = ["  ".join(header[i].ljust(widths[i]) for i in range(len(header)))]
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for line in body:
+            lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+        resolved = sum(1 for r in self.trials if r.state in ("completed", "failed"))
+        summary = (
+            f"{self.algorithm} search over {self.objective}: {resolved} trials "
+            f"({self.executed} executed, {self.cache_hits} cache hits, "
+            f"{self.pruned} pruned, {self.failures} failed), {self.wall_time_s:.1f}s"
+        )
+        if self.best is not None:
+            summary += (
+                f"\nbest: {self.best.trial_id} {self.objective}="
+                + float_format.format(self.best.objective)
+                + (
+                    " ("
+                    + ", ".join(
+                        f"{key}={value}" for key, value in sorted(self.best.params.items())
+                    )
+                    + ")"
+                    if self.best.params
+                    else ""
+                )
+            )
+        if self.partial:
+            state = "stopped early" if self.stopped else "cancelled"
+            summary += f" [{state}]"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def run_search(
+    base: ScenarioSpec,
+    axes: Mapping[str, Sequence[Any]],
+    *,
+    algorithm: str = "random",
+    objective: Union[str, Objective] = "utility",
+    algorithm_params: Optional[Mapping[str, Any]] = None,
+    max_trials: Optional[int] = None,
+    batch: int = 8,
+    seed: int = 0,
+    ledger: Optional[Union[str, Path, TrialLedger]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
+    db: Optional[Union[str, Path]] = None,
+    broker: Optional[str] = None,
+    lease_timeout: Optional[float] = None,
+    on_event: Optional[Callable[[SweepEvent], None]] = None,
+    cancel: Optional[CancelToken] = None,
+    stop: Union[None, str, StopCondition] = None,
+    on_failure: str = "continue",
+) -> SearchResult:
+    """Run an adaptive search to completion (or interruption).
+
+    A thin consumer of :func:`stream_search`, exactly as
+    :func:`repro.api.run_specs` consumes :func:`stream_specs`: it drains
+    the event stream (feeding ``on_event``, falling back to the
+    process-wide default callback) and assembles a :class:`SearchResult`
+    from the trial ledger.  Ctrl-C returns a *partial* result — settled
+    trials, current best — instead of losing paid-for work; re-running
+    with the same ``ledger`` path resumes with zero re-executed
+    scenarios.
+    """
+    if on_event is None:
+        on_event = default_on_event()
+    own_ledger = not isinstance(ledger, TrialLedger)
+    book = ledger if isinstance(ledger, TrialLedger) else TrialLedger(ledger)
+    started = time.perf_counter()
+    finished: Optional[SearchFinished] = None
+    executed = cache_hits = failures = pruned = 0
+    interrupted = False
+    try:
+        stream = stream_search(
+            base,
+            axes,
+            algorithm=algorithm,
+            objective=objective,
+            algorithm_params=algorithm_params,
+            max_trials=max_trials,
+            batch=batch,
+            seed=seed,
+            ledger=book,
+            jobs=jobs,
+            cache=cache,
+            executor=executor,
+            workers=workers,
+            db=db,
+            broker=broker,
+            lease_timeout=lease_timeout,
+            cancel=cancel,
+            stop=stop,
+            on_failure=on_failure,
+        )
+        try:
+            for event in stream:
+                if isinstance(event, ScenarioCompleted):
+                    executed += 1
+                elif isinstance(event, ScenarioCacheHit):
+                    cache_hits += 1
+                elif isinstance(event, ScenarioFailed):
+                    failures += 1
+                elif isinstance(event, TrialPruned):
+                    pruned += 1
+                elif isinstance(event, SearchFinished):
+                    finished = event
+                if on_event is not None:
+                    on_event(event)
+        except KeyboardInterrupt:
+            interrupted = True
+        finally:
+            stream.close()
+
+        records = tuple(book.records())
+        best: Optional[TrialRecord] = None
+        if finished is not None and finished.best_trial_id is not None:
+            best = book.get(finished.best_trial_id)
+        if best is None:
+            best = book.best()
+        cancelled = interrupted or bool(finished and finished.cancelled)
+        if not cancelled and finished is None and cancel is not None:
+            cancelled = cancel.cancelled()
+        return SearchResult(
+            algorithm=finished.algorithm if finished is not None else str(algorithm),
+            objective=(
+                finished.objective
+                if finished is not None
+                else (objective.name if isinstance(objective, Objective) else str(objective))
+            ),
+            trials=records,
+            best=best,
+            executed=finished.executed if finished is not None else executed,
+            cache_hits=finished.cache_hits if finished is not None else cache_hits,
+            pruned=finished.pruned if finished is not None else pruned,
+            failures=finished.failures if finished is not None else failures,
+            wall_time_s=(
+                finished.elapsed_s if finished is not None else time.perf_counter() - started
+            ),
+            cancelled=cancelled,
+            stopped=bool(finished and finished.stopped),
+        )
+    finally:
+        if own_ledger:
+            book.close()
+
+
+class Search:
+    """An adaptive search bound to one base spec and axis set.
+
+    The search-shaped sibling of :class:`repro.api.Sweep`::
+
+        search = Search(
+            base,
+            {"strategy_params.fixed_r": [0, 1, 2, 3]},
+            algorithm="frontier_bisect",
+            objective="cost",
+            algorithm_params={"min_pocd": 0.99},
+        )
+        result = search.run(executor="distributed", workers=4)
+        print(result.to_text())
+    """
+
+    def __init__(
+        self,
+        base: ScenarioSpec,
+        axes: Mapping[str, Sequence[Any]],
+        *,
+        algorithm: str = "random",
+        objective: Union[str, Objective] = "utility",
+        algorithm_params: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+    ):
+        if not isinstance(base, ScenarioSpec):
+            raise SpecValidationError(
+                "base", f"expected ScenarioSpec, got {type(base).__name__}"
+            )
+        if not isinstance(axes, Mapping) or not axes:
+            raise SpecValidationError(
+                "axes", "must be a non-empty mapping of dotted paths to value lists"
+            )
+        self._base = base
+        self._axes = {key: list(values) for key, values in axes.items()}
+        self._algorithm = algorithm
+        self._objective = objective
+        self._algorithm_params = dict(algorithm_params or {})
+        self._seed = seed
+
+    @property
+    def base(self) -> ScenarioSpec:
+        """The spec proposals are applied to."""
+        return self._base
+
+    @property
+    def axes(self) -> Dict[str, List[Any]]:
+        """The search axes (a copy)."""
+        return {key: list(values) for key, values in self._axes.items()}
+
+    @property
+    def algorithm(self) -> str:
+        """The configured algorithm name."""
+        return self._algorithm
+
+    def run(self, **options: Any) -> SearchResult:
+        """Execute the search (see :func:`run_search` for options)."""
+        return run_search(
+            self._base,
+            self._axes,
+            algorithm=self._algorithm,
+            objective=self._objective,
+            algorithm_params=self._algorithm_params,
+            seed=self._seed,
+            **options,
+        )
+
+    def stream(self, **options: Any) -> Iterator[SweepEvent]:
+        """Execute the search as an event stream (see :func:`stream_search`)."""
+        return stream_search(
+            self._base,
+            self._axes,
+            algorithm=self._algorithm,
+            objective=self._objective,
+            algorithm_params=self._algorithm_params,
+            seed=self._seed,
+            **options,
+        )

@@ -39,6 +39,12 @@ or any callable over the incoming events)::
     for event in sweep.stream(jobs=4):
         if isinstance(event, ScenarioCompleted):
             print(event.index, event.result.report.pocd)
+
+Beyond grids, :mod:`repro.adaptive` searches the scenario space with
+ask/tell algorithms — :class:`Search` / :func:`run_search` /
+:func:`stream_search` (plus :func:`register_algorithm` and
+:func:`register_objective`) are re-exported here and speak the same
+event stream, executors and control surface as sweeps.
 """
 
 from repro.api.events import (
@@ -49,9 +55,12 @@ from repro.api.events import (
     ScenarioQueued,
     ScenarioRetried,
     ScenarioStarted,
+    SearchFinished,
     SweepEvent,
     SweepFinished,
     SweepStarted,
+    TrialProposed,
+    TrialPruned,
     event_from_dict,
 )
 from repro.api.facade import ScenarioResult, report_from_dict, report_to_dict, run
@@ -137,6 +146,9 @@ __all__ = [
     "ScenarioFailed",
     "ScenarioRetried",
     "SweepFinished",
+    "TrialProposed",
+    "TrialPruned",
+    "SearchFinished",
     "EVENT_TYPES",
     "event_from_dict",
     # registries
@@ -152,4 +164,56 @@ __all__ = [
     "available_estimators",
     "available_workloads",
     "create_strategy",
+    # adaptive search (lazy — see __getattr__ below)
+    "Search",
+    "SearchResult",
+    "run_search",
+    "stream_search",
+    "AlgorithmAdapter",
+    "Proposal",
+    "TrialLedger",
+    "TrialRecord",
+    "register_algorithm",
+    "available_algorithms",
+    "make_algorithm",
+    "Objective",
+    "register_objective",
+    "available_objectives",
 ]
+
+# repro.adaptive builds on the sweep layer, so importing it eagerly here
+# would recurse back into this module while it is still initialising.
+# PEP 562 lazy attributes keep ``from repro.api import Search`` working
+# without paying for (or racing) the adaptive import on plain sweeps.
+_ADAPTIVE_NAMES = frozenset(
+    {
+        "Search",
+        "SearchResult",
+        "run_search",
+        "stream_search",
+        "AlgorithmAdapter",
+        "Proposal",
+        "TrialLedger",
+        "TrialRecord",
+        "register_algorithm",
+        "available_algorithms",
+        "make_algorithm",
+        "Objective",
+        "register_objective",
+        "available_objectives",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _ADAPTIVE_NAMES:
+        import repro.adaptive as _adaptive
+
+        value = getattr(_adaptive, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _ADAPTIVE_NAMES)

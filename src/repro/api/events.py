@@ -19,6 +19,14 @@ Event lifecycle of one sweep::
         ScenarioFailed       (the scenario itself raised)
     SweepFinished            (totals; cancelled/stopped flags)
 
+An adaptive search (:mod:`repro.adaptive`) speaks the same vocabulary:
+its driver forwards the scenario lifecycle events of each executed batch
+and adds three members of its own — ``TrialProposed`` (the algorithm
+asked for a configuration), ``TrialPruned`` (the algorithm ruled one out
+without paying for it) and a final ``SearchFinished`` — so progress
+rendering, stop conditions and Ctrl-C partial-result semantics work for
+searches exactly as they do for grids.
+
 Events serialize to JSON (:meth:`SweepEvent.to_dict` /
 :func:`event_from_dict`), so they can cross process and host boundaries
 exactly like specs and results do — the distributed broker keeps a
@@ -31,7 +39,7 @@ is wall time since the sweep began.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple, Type
 
 from repro.api.facade import ScenarioResult
@@ -161,6 +169,70 @@ class SweepFinished(SweepEvent):
     elapsed_s: float = 0.0
 
 
+@dataclass(frozen=True)
+class TrialProposed(SweepEvent):
+    """An adaptive-search algorithm proposed one trial configuration.
+
+    ``params`` is the proposal's dotted-path override mapping (what
+    :meth:`~repro.api.spec.ScenarioSpec.with_overrides` receives);
+    ``trial_id`` is its stable content id, so resumed searches emit the
+    same ids for the same configurations.
+    """
+
+    kind: ClassVar[str] = "trial-proposed"
+
+    trial_id: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+    fingerprint: str = ""
+    algorithm: str = ""
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class TrialPruned(SweepEvent):
+    """An adaptive-search algorithm ruled a trial out without running it.
+
+    Pruned trials are the whole point of searching instead of sweeping:
+    each one is a scenario the grid would have paid for.  ``reason``
+    records why (rung elimination, bisection bracket, ...).
+    """
+
+    kind: ClassVar[str] = "trial-pruned"
+
+    trial_id: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+    fingerprint: str = ""
+    reason: str = ""
+    algorithm: str = ""
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class SearchFinished(SweepEvent):
+    """An adaptive search ended (normally, cancelled, or stopped early).
+
+    ``trials`` counts proposals resolved (completed + failed, including
+    ledger replays of a resumed search); ``executed``/``cache_hits``
+    partition the scenarios that backed them, exactly like
+    :class:`SweepFinished` does for a grid sweep.
+    """
+
+    kind: ClassVar[str] = "search-finished"
+
+    algorithm: str = ""
+    objective: str = ""
+    trials: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    pruned: int = 0
+    failures: int = 0
+    best_trial_id: Optional[str] = None
+    best_objective: Optional[float] = None
+    cancelled: bool = False
+    stopped: bool = False
+    elapsed_s: float = 0.0
+
+
 #: Every concrete event type, keyed by wire name.
 EVENT_TYPES: Dict[str, Type[SweepEvent]] = {
     cls.kind: cls
@@ -173,6 +245,9 @@ EVENT_TYPES: Dict[str, Type[SweepEvent]] = {
         ScenarioFailed,
         ScenarioRetried,
         SweepFinished,
+        TrialProposed,
+        TrialPruned,
+        SearchFinished,
     )
 }
 
@@ -221,6 +296,9 @@ __all__: Tuple[str, ...] = (
     "ScenarioFailed",
     "ScenarioRetried",
     "SweepFinished",
+    "TrialProposed",
+    "TrialPruned",
+    "SearchFinished",
     "EVENT_TYPES",
     "event_from_dict",
 )

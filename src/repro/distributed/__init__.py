@@ -30,7 +30,14 @@ either.  The pieces are public for anyone building a custom topology
 (remote workers pointed at a shared service, worker recycling, etc.).
 """
 
-from repro.distributed.broker import EVENT_KINDS, Broker, Task, TaskFailedError, TaskRecord
+from repro.distributed.broker import (
+    EVENT_KINDS,
+    TRIAL_EVENT_KINDS,
+    Broker,
+    Task,
+    TaskFailedError,
+    TaskRecord,
+)
 from repro.distributed.executor import default_db_path, execute, execute_stream
 from repro.distributed.leases import Lease, LeaseKeeper, LeasePolicy
 from repro.distributed.store import (
@@ -58,6 +65,7 @@ __all__ = [
     "TaskRecord",
     "TaskFailedError",
     "EVENT_KINDS",
+    "TRIAL_EVENT_KINDS",
     # leases
     "Lease",
     "LeasePolicy",

@@ -52,6 +52,10 @@ TASK_STATES = ("pending", "leased", "done", "failed")
 #: Event-log kinds, in roughly the order they occur for one task.
 EVENT_KINDS = ("queued", "started", "completed", "failed", "retried", "released")
 
+#: Out-of-band event kinds an adaptive search mirrors into the log via
+#: :meth:`Broker.record_event` (see :mod:`repro.adaptive.search`).
+TRIAL_EVENT_KINDS = ("trial-proposed", "trial-pruned", "search-finished")
+
 
 class TaskFailedError(RuntimeError):
     """A queued task failed permanently; carries the recorded error."""
@@ -166,11 +170,18 @@ class Broker:
         return added
 
     def drain(self) -> None:
-        """Ask workers to exit once no claimable work remains."""
+        """Ask workers to exit once no claimable work remains.
+
+        Draining is the operator's "wind this queue down" action, which
+        makes it the natural moment to shed history: events past the
+        done-watermark (see :meth:`done_watermark`) are pruned so a
+        long-lived queue database does not grow an unbounded log.
+        """
         with self._conn:
             self._conn.execute(
                 "INSERT OR REPLACE INTO control (key, value) VALUES ('draining', '1')"
             )
+        self.prune_events()
 
     def is_draining(self) -> bool:
         """Whether :meth:`drain` has been requested."""
@@ -481,14 +492,81 @@ class Broker:
             (time.time() if now is None else now, kind, fingerprint, worker_id, detail),
         )
 
+    def record_event(
+        self,
+        kind: str,
+        fingerprint: Optional[str] = None,
+        worker_id: Optional[str] = None,
+        detail: Optional[str] = None,
+    ) -> int:
+        """Append an out-of-band event to the log; returns its sequence.
+
+        This is how layers above the queue — the adaptive-search driver
+        mirroring ``trial-proposed``/``trial-pruned`` decisions — make
+        their progress visible to the same observers that tail task
+        events, locally or through the service's RPC of the same name.
+        Kinds are restricted to the known vocabularies so a typo cannot
+        pollute the log.
+        """
+        if kind not in EVENT_KINDS and kind not in TRIAL_EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {kind!r} (available: "
+                f"{', '.join(EVENT_KINDS + TRIAL_EVENT_KINDS)})"
+            )
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            self._log_event(kind, fingerprint, worker_id=worker_id, detail=detail)
+            row = self._conn.execute("SELECT MAX(seq) AS seq FROM events").fetchone()
+        return int(row["seq"]) if row["seq"] is not None else 0
+
+    def done_watermark(self) -> int:
+        """The lowest event sequence still worth keeping.
+
+        Every event older than the watermark concerns only settled work:
+        no ``pending`` or ``leased`` task has an event at or above it
+        left unpruned.  With nothing in flight the watermark is
+        ``last_event_seq() + 1`` — the whole log is prunable history.
+        """
+        row = self._conn.execute(
+            "SELECT MIN(e.seq) AS seq FROM events e "
+            "JOIN tasks t ON t.fingerprint = e.fingerprint "
+            "WHERE t.status IN ('pending', 'leased')"
+        ).fetchone()
+        if row is not None and row["seq"] is not None:
+            return int(row["seq"])
+        return self.last_event_seq() + 1
+
+    def prune_events(self, before_seq: Optional[int] = None) -> int:
+        """Delete event-log rows with ``seq < before_seq``; returns the count.
+
+        ``before_seq=None`` prunes up to :meth:`done_watermark` — the
+        largest cut that cannot touch an in-flight task's history.
+        Sequence numbers are ``AUTOINCREMENT`` and never reused, so
+        observers tailing :meth:`events_since` from a live position are
+        unaffected; only already-settled history disappears.
+        """
+        before = self.done_watermark() if before_seq is None else int(before_seq)
+        with self._conn:
+            cursor = self._conn.execute("DELETE FROM events WHERE seq < ?", (before,))
+        return cursor.rowcount
+
     def last_event_seq(self) -> int:
-        """The newest event-log sequence number (0 for an empty log).
+        """The newest event-log sequence number ever issued (0 if none).
 
         Capture this *before* enqueueing, then tail with
         :meth:`events_since` — the window replays exactly your run.
+        Pruning does not move this backwards: when the table is empty the
+        ``AUTOINCREMENT`` counter still remembers the last issued seq, so
+        ``workers status`` can report "N logged, 0 retained" after a
+        drain instead of pretending no events ever happened.
         """
         row = self._conn.execute("SELECT MAX(seq) AS seq FROM events").fetchone()
-        return int(row["seq"]) if row["seq"] is not None else 0
+        if row["seq"] is not None:
+            return int(row["seq"])
+        row = self._conn.execute(
+            "SELECT seq FROM sqlite_sequence WHERE name = 'events'"
+        ).fetchone()
+        return int(row["seq"]) if row is not None else 0
 
     def events_since(self, seq: int = 0, limit: int = 500) -> List[Dict[str, Any]]:
         """Event-log rows newer than ``seq``, oldest first (at most ``limit``).
@@ -596,8 +674,17 @@ class Broker:
         ]
 
     def stats(self) -> Dict[str, Any]:
-        """One status dict: task counts, leases, workers, results, drain flag."""
+        """One status dict: task counts, leases, workers, results, drain flag.
+
+        ``events`` is the newest log sequence; ``events_retained`` is how
+        many rows the log actually holds (pruning keeps it bounded) and
+        ``events_first`` the oldest retained sequence — together they
+        surface the retained span in ``workers status``.
+        """
         results = self._conn.execute("SELECT COUNT(*) AS n FROM results").fetchone()
+        span = self._conn.execute(
+            "SELECT COUNT(*) AS n, MIN(seq) AS first FROM events"
+        ).fetchone()
         return {
             "path": str(self._path),
             "tasks": self.counts(),
@@ -606,4 +693,6 @@ class Broker:
             "workers": self.workers(),
             "draining": self.is_draining(),
             "events": self.last_event_seq(),
+            "events_retained": int(span["n"]),
+            "events_first": int(span["first"]) if span["first"] is not None else None,
         }

@@ -22,6 +22,10 @@ Installed as ``chronos-experiments``.  Examples::
     chronos-experiments workers status --broker https://host:8176 --expiring
     chronos-experiments sweep --spec sweep.json --jobs 4 --progress
     chronos-experiments export --db queue.sqlite --columns fingerprint,pocd,utility
+    chronos-experiments search --spec search.json --algorithm frontier_bisect \
+        --objective cost --algo-param min_pocd=0.95 --ledger trials.sqlite
+    chronos-experiments search --spec search.json --algorithm successive_halving \
+        --objective utility --max-trials 40 --broker https://host:8176 --token SECRET
 
 The ``sweep`` command runs a declarative scenario sweep from a JSON file
 of the form::
@@ -37,6 +41,16 @@ of the form::
 dotted override paths to value lists (cartesian product), and an optional
 ``overrides`` list of mappings can be given instead of (or in addition
 to) ``grid``.
+
+The ``search`` command explores the same space *adaptively* instead of
+exhaustively: its JSON file carries the same ``base`` plus ``axes``
+(``grid`` is accepted as an alias), and ``--algorithm``/``--objective``
+pick an ask/tell algorithm and target metric from the
+:mod:`repro.adaptive` registries (``--algo-param KEY=VALUE`` configures
+the algorithm; ``--ledger FILE`` persists the trial ledger so an
+interrupted search resumes with zero re-executed scenarios).  Searches
+run on every sweep backend — ``--jobs``, ``--executor``, ``--db``,
+``--broker`` and the security flags behave exactly as for ``sweep``.
 
 The ``workers`` command manages a fleet of distributed sweep workers
 attached to a queue — a local database (``--db``) or a remote sweep
@@ -90,12 +104,16 @@ from repro.api import (
     ScenarioQueued,
     ScenarioRetried,
     ScenarioSpec,
+    SearchFinished,
     SpecValidationError,
     Sweep,
     SweepEvent,
     SweepFinished,
     SweepResult,
     SweepStarted,
+    TrialProposed,
+    TrialPruned,
+    UnknownPluginError,
     set_default_executor,
     set_default_on_event,
 )
@@ -158,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment names (figure2, table1, table2, figure3, figure4, figure5), "
             "'all', 'sweep' to run a scenario sweep from --spec, "
+            "'search' to run an adaptive ask/tell search from --spec, "
             "'workers start|status|drain' to manage distributed sweep workers, "
             "'serve' to run the HTTP broker front-end, or "
             "'export' to dump a queue's result store as CSV"
@@ -178,7 +197,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--spec",
-        help="sweep specification JSON file (used by the 'sweep' command)",
+        help="sweep/search specification JSON file (used by 'sweep' and 'search')",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="random",
+        help=(
+            "ask/tell algorithm for the 'search' command: random, grid, "
+            "successive_halving, frontier_bisect, or anything registered via "
+            "repro.adaptive.register_algorithm (default: random)"
+        ),
+    )
+    parser.add_argument(
+        "--objective",
+        default="utility",
+        help=(
+            "objective the 'search' command optimizes: utility, pocd, cost, "
+            "response_time, machine_time, or anything registered via "
+            "repro.adaptive.register_objective (default: utility)"
+        ),
+    )
+    parser.add_argument(
+        "--max-trials",
+        type=int,
+        help="trial budget for 'search' (default: run until the algorithm finishes)",
+    )
+    parser.add_argument(
+        "--trial-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "proposals 'search' asks for and executes per round — the fan-out "
+            "unit on parallel executors (default: 8)"
+        ),
+    )
+    parser.add_argument(
+        "--ledger",
+        metavar="FILE",
+        help=(
+            "sqlite trial ledger for 'search'; persists every trial so an "
+            "interrupted search resumes with zero re-executed scenarios "
+            "(omit for an in-memory, non-resumable search)"
+        ),
+    )
+    parser.add_argument(
+        "--algo-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help=(
+            "extra algorithm configuration for 'search', repeatable — e.g. "
+            "--algo-param min_pocd=0.95 --algo-param eta=3 (values parse as "
+            "JSON, falling back to strings)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -352,6 +423,10 @@ class ProgressLine:
     writes ``done/total``, cache hits, failures, retries and an ETA to
     stderr.  On a terminal the line redraws in place; elsewhere (CI logs
     with ``--progress`` forced on) it emits plain, rate-limited lines.
+
+    An adaptive search speaks the same stream plus ``TrialProposed`` /
+    ``TrialPruned`` / ``SearchFinished``; the first trial event flips the
+    line into search mode (``search done/proposed trials``, prune count).
     """
 
     def __init__(self, stream=None, min_interval: float = 0.1):
@@ -364,6 +439,12 @@ class ProgressLine:
         self._last_render = 0.0
         self._last_width = 0
         self._reset(0)
+        # Search counters live outside _reset on purpose: a search stream
+        # suppresses its inner batches' SweepStarted frames, so nothing
+        # may zero the trial tally mid-run.
+        self._search = False
+        self._trials = 0
+        self._pruned = 0
 
     def _reset(self, total: int) -> None:
         self._total = total
@@ -376,6 +457,19 @@ class ProgressLine:
     def __call__(self, event: SweepEvent) -> None:
         if isinstance(event, SweepStarted):
             self._reset(event.total)
+        elif isinstance(event, TrialProposed):
+            self._search = True
+            self._trials += 1
+        elif isinstance(event, TrialPruned):
+            self._search = True
+            self._pruned += 1
+        elif isinstance(event, SearchFinished):
+            self._search = True
+            self._trials = event.trials
+            self._pruned = event.pruned
+            self._render(event.elapsed_s, final=True, cancelled=event.cancelled,
+                         stopped=event.stopped)
+            return
         elif isinstance(event, ScenarioQueued):
             # duplicate fingerprints queue once per index but complete
             # once; counting queued indices keeps done/total honest
@@ -420,14 +514,20 @@ class ProgressLine:
         stopped: bool = False,
     ) -> None:
         finished = self._done + self._hits
-        parts = [f"sweep {finished}/{self._total}"]
+        if self._search:
+            parts = [f"search {finished}/{self._trials} trials"]
+            if self._pruned:
+                parts.append(f"{self._pruned} pruned")
+        else:
+            parts = [f"sweep {finished}/{self._total}"]
         if self._hits:
             parts.append(f"{self._hits} cached")
         if self._failed:
             parts.append(f"{self._failed} failed")
         if self._retried:
             parts.append(f"{self._retried} retried")
-        remaining = max(0, self._total - finished - self._failed)
+        target = self._trials if self._search else self._total
+        remaining = max(0, target - finished - self._failed)
         if final:
             state = "stopped early" if stopped else ("cancelled" if cancelled else "done")
             parts.append(f"{state} in {elapsed_s:.1f}s")
@@ -586,8 +686,134 @@ def run_sweep_command(args: argparse.Namespace) -> int:
     return 0
 
 
-def _emit_result(result: SweepResult, csv_option) -> None:
-    """Print a sweep result as table/CSV, or write CSV to a file path."""
+def parse_algo_params(items: Optional[Sequence[str]]) -> Dict[str, object]:
+    """Parse repeated ``--algo-param KEY=VALUE`` flags.
+
+    Values go through :func:`json.loads` so numbers, booleans and lists
+    arrive typed (``min_pocd=0.95`` → float); anything that is not JSON
+    stays a string (``resource_axis=seed``).
+    """
+    params: Dict[str, object] = {}
+    for item in items or []:
+        key, sep, raw = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(f"--algo-param expects KEY=VALUE, got {item!r}")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    return params
+
+
+def run_search_command(args: argparse.Namespace) -> int:
+    """Handle ``chronos-experiments search --spec FILE --algorithm NAME``.
+
+    The spec file carries ``base`` (a scenario) and ``axes`` (dotted
+    override paths to candidate value lists; ``grid`` is accepted as an
+    alias so a sweep spec can be re-pointed at a search unchanged).  The
+    search runs on the same executors and security machinery as
+    ``sweep``; Ctrl-C prints the partial trial table and, with a
+    ``--ledger``, re-running resumes with zero re-executed scenarios.
+    """
+    if not args.spec:
+        print("search requires --spec FILE (a search specification JSON)", file=sys.stderr)
+        return 2
+    path = Path(args.spec)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as error:
+        print(f"cannot read search spec {path}: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"invalid JSON in {path}: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(payload, dict) or "base" not in payload:
+        print(f"{path}: search spec must be an object with a 'base' scenario", file=sys.stderr)
+        return 2
+    axes = payload.get("axes", payload.get("grid"))
+    if not isinstance(axes, dict) or not axes:
+        print(
+            f"{path}: search spec must map 'axes' (or 'grid') to non-empty value lists",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        base = ScenarioSpec.from_dict(payload["base"])
+    except SpecValidationError as error:
+        print(f"{path}: {error}", file=sys.stderr)
+        return 2
+    try:
+        algorithm_params = parse_algo_params(args.algo_param)
+    except ValueError as error:
+        print(f"search: {error}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    distributed = args.executor == "distributed" or args.broker
+    from repro.adaptive import run_search
+    from repro.service import ServiceAuthError, ServiceError
+
+    progress = ProgressLine() if progress_enabled(args) else None
+    try:
+        result = run_search(
+            base,
+            axes,
+            algorithm=args.algorithm,
+            objective=args.objective,
+            algorithm_params=algorithm_params or None,
+            max_trials=args.max_trials,
+            batch=max(1, args.trial_batch),
+            seed=args.seed,
+            ledger=args.ledger,
+            jobs=max(1, args.jobs),
+            cache=cache,
+            executor=args.executor,
+            workers=args.workers,
+            db=args.db,
+            broker=args.broker,
+            lease_timeout=args.lease_timeout if distributed else None,
+            on_event=progress,
+        )
+    except ServiceAuthError as error:
+        print(f"sweep service authentication failed: {error}", file=sys.stderr)
+        return 2
+    except ServiceError as error:
+        print(f"sweep service error: {error}", file=sys.stderr)
+        return 2
+    except UnknownPluginError as error:
+        # an unknown --algorithm or --objective name, listing what exists
+        print(f"search: {error}", file=sys.stderr)
+        return 2
+    except (SpecValidationError, ValueError) as error:
+        # e.g. axes an algorithm refuses (frontier_bisect needs exactly one
+        # multi-valued axis), a mismatched --ledger, or a bad --broker URL
+        print(f"search: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if progress is not None:
+            progress.abort()
+    _emit_result(result, args.csv)
+    if result.cancelled:
+        # Ctrl-C: the settled trials were printed above.  Resumability
+        # needs the trial ledger — scenario caches alone cannot restore
+        # the algorithm's state.
+        hint = (
+            "re-run the same command to resume from the ledger"
+            if args.ledger
+            else "trial state was not persisted — pass --ledger FILE to make "
+            "cancelled searches resumable"
+        )
+        print(f"search cancelled ({hint})", file=sys.stderr)
+        return 130
+    return 0
+
+
+def _emit_result(result, csv_option) -> None:
+    """Print a sweep/search result as table/CSV, or write CSV to a file.
+
+    Works on anything with ``to_csv``/``to_text`` and ``len`` —
+    :class:`repro.api.SweepResult` and ``repro.adaptive.SearchResult``.
+    """
     if isinstance(csv_option, str):
         Path(csv_option).write_text(result.to_csv())
         print(f"wrote {len(result)} result row(s) to {csv_option}")
@@ -620,6 +846,10 @@ def run_export_command(args: argparse.Namespace) -> int:
         columns = [column.strip() for column in args.columns.split(",") if column.strip()]
         try:
             with SqliteResultStore(args.db) as store:
+                # Broker-written rows store raw payloads without summaries;
+                # backfill before the column pushdown so a store populated
+                # entirely by remote workers never exports empty.
+                store.backfill_summaries()
                 rows = store.summary_rows(columns)
         except ValueError as error:
             print(f"export: {error}", file=sys.stderr)
@@ -810,7 +1040,15 @@ def format_worker_status(stats: Dict[str, object]) -> str:
     )
     if stats.get("events"):
         # last event-log sequence: `events_since(N)` from here tails live
-        lines.insert(-1, f"events: {stats['events']} logged")
+        line = f"events: {stats['events']} logged"
+        retained = stats.get("events_retained")
+        if retained is not None:
+            # pruning keeps the log bounded; show what is still readable
+            first = stats.get("events_first")
+            line += f", {retained} retained"
+            if retained and first is not None:
+                line += f" (seq {first}..{stats['events']})"
+        lines.insert(-1, line)
     leased = stats.get("leased") or []
     if leased:
         # Stuck leases are the thing operators look for: attempts climbing
@@ -849,6 +1087,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.experiments and args.experiments[0] == "sweep":
             return run_sweep_command(args)
+        if args.experiments and args.experiments[0] == "search":
+            return run_search_command(args)
         if args.experiments and args.experiments[0] == "workers":
             return run_workers_command(args)
         if args.experiments and args.experiments[0] == "serve":

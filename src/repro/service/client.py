@@ -281,6 +281,36 @@ class HttpBroker:
         """
         return [dict(row) for row in self._call("events_since", seq=int(seq), limit=int(limit))]
 
+    def record_event(
+        self,
+        kind: str,
+        fingerprint: Optional[str] = None,
+        worker_id: Optional[str] = None,
+        detail: Optional[str] = None,
+    ) -> int:
+        """Append an out-of-band event (adaptive-search trial decisions)."""
+        return int(
+            self._call(
+                "record_event",
+                kind=str(kind),
+                fingerprint=fingerprint,
+                worker_id=worker_id,
+                detail=detail,
+            )
+        )
+
+    def done_watermark(self) -> int:
+        return int(self._call("done_watermark"))
+
+    def prune_events(self, before_seq: Optional[int] = None) -> int:
+        """Prune settled event-log history on the server; returns the count."""
+        return int(
+            self._call(
+                "prune_events",
+                before_seq=None if before_seq is None else int(before_seq),
+            )
+        )
+
     def close(self) -> None:
         """Nothing to release: calls are independent requests."""
 

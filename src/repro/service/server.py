@@ -115,6 +115,15 @@ class BrokerService:
                 int(seq), int(limit)
             ),
             "last_event_seq": broker.last_event_seq,
+            "record_event": lambda kind, fingerprint=None, worker_id=None, detail=None: (
+                broker.record_event(
+                    str(kind), fingerprint=fingerprint, worker_id=worker_id, detail=detail
+                )
+            ),
+            "done_watermark": broker.done_watermark,
+            "prune_events": lambda before_seq=None: broker.prune_events(
+                None if before_seq is None else int(before_seq)
+            ),
             # result store
             "result_get": store.get_payload,
             "result_put": lambda payload, worker_id=None: store.put_payload(

@@ -1,0 +1,750 @@
+"""Tests of the adaptive search subsystem: ledger, algorithms, driver, CLI.
+
+Covers the acceptance scenario of the subsystem: ask/tell algorithms
+propose unique, content-addressed trials; the sqlite ledger makes a
+search resumable (a re-run replays settled trials and executes zero
+repeated scenarios); the driver speaks the sweep event vocabulary plus
+``TrialProposed``/``TrialPruned``/``SearchFinished``; and the whole
+thing runs through the public API and the ``search`` CLI command on the
+same executors as grids.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adaptive import (
+    ALGORITHMS,
+    AlgorithmAdapter,
+    FrontierBisect,
+    GridAlgorithm,
+    RandomSearch,
+    Search,
+    SuccessiveHalving,
+    TrialLedger,
+    available_algorithms,
+    available_objectives,
+    make_algorithm,
+    make_objective,
+    make_proposal,
+    register_algorithm,
+    run_search,
+    stream_search,
+    summary_metrics,
+)
+from repro.api import (
+    ScenarioSpec,
+    SearchFinished,
+    SpecValidationError,
+    Sweep,
+    TrialProposed,
+    TrialPruned,
+    UnknownPluginError,
+    WorkloadSpec,
+    event_from_dict,
+    job_spec_to_dict,
+    run,
+)
+from repro.simulator.entities import JobSpec
+
+
+def _tiny_spec(seed: int = 0) -> ScenarioSpec:
+    jobs = [
+        JobSpec(job_id=f"j{i}", num_tasks=3, deadline=90.0, tmin=15.0, beta=1.5, submit_time=2.0 * i)
+        for i in range(3)
+    ]
+    return ScenarioSpec(
+        workload=WorkloadSpec("explicit", {"jobs": [job_spec_to_dict(j) for j in jobs]}),
+        strategy="s-resume",
+        strategy_params={"tau_est": 30.0, "tau_kill": 60.0, "fixed_r": 1},
+        cluster={"num_nodes": 0},
+        seed=seed,
+    )
+
+
+def _frontier_spec() -> ScenarioSpec:
+    """A tight-deadline spec with a real PoCD frontier over ``fixed_r``."""
+    jobs = [
+        JobSpec(job_id=f"j{i}", num_tasks=4, deadline=30.0, tmin=15.0, beta=1.5, submit_time=2.0 * i)
+        for i in range(4)
+    ]
+    return ScenarioSpec(
+        workload=WorkloadSpec("explicit", {"jobs": [job_spec_to_dict(j) for j in jobs]}),
+        strategy="s-resume",
+        strategy_params={"tau_est": 10.0, "tau_kill": 20.0, "fixed_r": 1},
+        cluster={"num_nodes": 0},
+    )
+
+
+AXES = {"seed": [0, 1, 2, 3]}
+
+
+class TestProposal:
+    def test_ids_are_content_addressed_and_order_insensitive(self):
+        a = make_proposal({"seed": 1, "strategy_params.fixed_r": 2})
+        b = make_proposal({"strategy_params.fixed_r": 2, "seed": 1})
+        assert a.trial_id == b.trial_id
+        assert len(a.trial_id) == 16
+        assert a.params == {"seed": 1, "strategy_params.fixed_r": 2}
+
+    def test_distinct_params_distinct_ids(self):
+        assert make_proposal({"seed": 1}).trial_id != make_proposal({"seed": 2}).trial_id
+
+
+class TestTrialLedger:
+    def test_lifecycle_round_trip(self, tmp_path):
+        proposal = make_proposal({"seed": 0})
+        with TrialLedger(tmp_path / "trials.sqlite") as book:
+            assert book.propose(proposal.trial_id, proposal.params) is True
+            assert book.propose(proposal.trial_id, proposal.params) is False
+            book.lease(proposal.trial_id, "fp0")
+            assert book.get(proposal.trial_id).state == "leased"
+            book.complete(proposal.trial_id, 1.25, 1.25, {"pocd": 0.99})
+            record = book.get(proposal.trial_id)
+            assert record.state == "completed"
+            assert record.objective == 1.25 and record.metrics == {"pocd": 0.99}
+            assert book.executed_fingerprints() == ["fp0"]
+
+    def test_complete_is_idempotent_first_report_wins(self):
+        proposal = make_proposal({"seed": 0})
+        with TrialLedger() as book:
+            book.propose(proposal.trial_id, proposal.params)
+            book.lease(proposal.trial_id, "fp0")
+            book.complete(proposal.trial_id, 1.0, 1.0)
+            book.complete(proposal.trial_id, 9.0, 9.0)  # replay: ignored
+            assert book.get(proposal.trial_id).objective == 1.0
+
+    def test_fail_cannot_clobber_completed(self):
+        proposal = make_proposal({"seed": 0})
+        with TrialLedger() as book:
+            book.propose(proposal.trial_id, proposal.params)
+            book.complete(proposal.trial_id, 1.0, 1.0)
+            book.fail(proposal.trial_id, "late failure report")
+            assert book.get(proposal.trial_id).state == "completed"
+
+    def test_lease_cannot_drag_back_a_settled_trial(self):
+        proposal = make_proposal({"seed": 0})
+        with TrialLedger() as book:
+            book.propose(proposal.trial_id, proposal.params)
+            book.complete(proposal.trial_id, 1.0, 1.0)
+            book.lease(proposal.trial_id, "fp-replay")
+            assert book.get(proposal.trial_id).state == "completed"
+
+    def test_prune_upserts_but_never_overwrites_executions(self):
+        ran = make_proposal({"seed": 0})
+        never_ran = make_proposal({"seed": 1})
+        with TrialLedger() as book:
+            book.propose(ran.trial_id, ran.params)
+            book.complete(ran.trial_id, 1.0, 1.0)
+            book.prune(ran.trial_id, ran.params, "too late")
+            book.prune(never_ran.trial_id, never_ran.params, "eliminated")
+            assert book.get(ran.trial_id).state == "completed"
+            pruned = book.get(never_ran.trial_id)
+            assert pruned.state == "pruned" and pruned.detail == "eliminated"
+
+    def test_counts_are_zero_filled_and_best_is_max_score(self):
+        with TrialLedger() as book:
+            for seed, score in ((0, -2.0), (1, -1.0), (2, -3.0)):
+                proposal = make_proposal({"seed": seed})
+                book.propose(proposal.trial_id, proposal.params)
+                book.complete(proposal.trial_id, score, score)
+            counts = book.counts()
+            assert counts == {
+                "pending": 0, "leased": 0, "completed": 3, "failed": 0, "pruned": 0,
+            }
+            assert book.best().params == {"seed": 1}
+
+    def test_records_filter_validates_state(self):
+        with TrialLedger() as book:
+            with pytest.raises(ValueError, match="unknown trial state"):
+                book.records("running")
+
+    def test_meta_guard_refuses_a_conflicting_resume(self, tmp_path):
+        path = tmp_path / "trials.sqlite"
+        with TrialLedger(path) as book:
+            book.claim_meta("algorithm", "successive_halving")
+        with TrialLedger(path) as book:
+            book.claim_meta("algorithm", "successive_halving")  # same value: fine
+            with pytest.raises(ValueError, match="refusing to resume"):
+                book.claim_meta("algorithm", "frontier_bisect")
+
+    def test_state_survives_reopen(self, tmp_path):
+        path = tmp_path / "trials.sqlite"
+        proposal = make_proposal({"seed": 0})
+        with TrialLedger(path) as book:
+            book.propose(proposal.trial_id, proposal.params)
+            book.lease(proposal.trial_id, "fp0")
+            book.complete(proposal.trial_id, 0.5, 0.5)
+        with TrialLedger(path) as book:
+            record = book.get(proposal.trial_id)
+            assert record.state == "completed" and record.fingerprint == "fp0"
+
+
+class TestObjectives:
+    def test_builtins_are_registered(self):
+        names = available_objectives()
+        for name in ("utility", "pocd", "cost", "response_time", "machine_time"):
+            assert name in names
+
+    def test_orientation_negates_min_objectives(self):
+        cost = make_objective("cost")
+        assert cost.direction == "min"
+        assert cost.orient(10.0) == -10.0
+        utility = make_objective("utility")
+        assert utility.orient(10.0) == 10.0
+
+    def test_unknown_objective_lists_available(self):
+        with pytest.raises(UnknownPluginError, match="available"):
+            make_objective("profit")
+
+    def test_summary_metrics_reads_the_report(self):
+        result = run(_tiny_spec())
+        metrics = summary_metrics(result)
+        assert metrics["pocd"] == result.report.pocd
+        assert metrics["mean_cost"] == result.report.mean_cost
+        assert metrics["num_jobs"] == 3
+        # every objective evaluates off the same result
+        for name in available_objectives():
+            assert isinstance(make_objective(name).value(result), float)
+
+
+class TestAlgorithmRegistry:
+    def test_builtins_present(self):
+        assert set(available_algorithms()) >= {
+            "grid", "random", "successive_halving", "frontier_bisect",
+        }
+
+    def test_unknown_algorithm_lists_available(self):
+        with pytest.raises(UnknownPluginError, match="available"):
+            make_algorithm("bayes", AXES)
+
+    def test_bad_factory_params_become_value_error(self):
+        with pytest.raises(ValueError, match="invalid parameters"):
+            make_algorithm("grid", AXES, eta=3)
+
+    def test_custom_algorithm_registers_and_resolves(self):
+        class Fixed(GridAlgorithm):
+            pass
+
+        register_algorithm("test-fixed", lambda axes, *, seed=0, **kw: Fixed(axes))
+        try:
+            algorithm = make_algorithm("Test-Fixed", AXES)  # case-insensitive
+            assert algorithm.name == "test-fixed"
+            assert isinstance(algorithm, Fixed)
+        finally:
+            ALGORITHMS.unregister("test-fixed")
+
+
+class TestGridAndRandom:
+    def test_grid_covers_the_product_without_repeats(self):
+        axes = {"seed": [0, 1], "strategy_params.fixed_r": [1, 2, 3]}
+        algorithm = GridAlgorithm(axes)
+        seen = []
+        while True:
+            batch = algorithm.ask(4)
+            if not batch:
+                break
+            seen.extend(batch)
+            for proposal in batch:
+                algorithm.tell(proposal.trial_id, 0.0)
+        assert len(seen) == 6
+        assert len({p.trial_id for p in seen}) == 6
+        assert [p.params for p in seen] == Sweep.grid_overrides(axes)
+        assert algorithm.finished()
+
+    def test_random_is_a_seeded_permutation(self):
+        axes = {"seed": list(range(8))}
+        first = [p.trial_id for p in RandomSearch(axes, seed=7).ask(8)]
+        again = [p.trial_id for p in RandomSearch(axes, seed=7).ask(8)]
+        other = [p.trial_id for p in RandomSearch(axes, seed=8).ask(8)]
+        grid = [p.trial_id for p in GridAlgorithm(axes).ask(8)]
+        assert first == again
+        assert sorted(first) == sorted(grid)
+        assert first != other
+
+    def test_random_num_samples_truncates(self):
+        algorithm = RandomSearch({"seed": list(range(10))}, num_samples=3)
+        batch = algorithm.ask(10)
+        assert len(batch) == 3
+        for proposal in batch:
+            algorithm.tell(proposal.trial_id, 0.0)
+        assert algorithm.finished()
+
+    def test_not_finished_until_told(self):
+        algorithm = GridAlgorithm({"seed": [0]})
+        (proposal,) = algorithm.ask(1)
+        assert not algorithm.finished()  # proposed but unresolved
+        algorithm.tell(proposal.trial_id, 1.0)
+        assert algorithm.finished()
+
+
+def _drive(algorithm: AlgorithmAdapter, score_fn, batch: int = 64):
+    """Run an algorithm to completion against a synthetic score function."""
+    executed = []
+    while not algorithm.finished():
+        batch_proposals = algorithm.ask(batch)
+        if not batch_proposals:
+            break
+        for proposal in batch_proposals:
+            executed.append(proposal)
+            score, metrics = score_fn(proposal.params)
+            algorithm.tell(proposal.trial_id, score, metrics)
+    return executed
+
+
+class TestSuccessiveHalving:
+    AXES = {"strategy_params.fixed_r": list(range(8)), "seed": list(range(8))}
+
+    def test_rung_schedule_executes_a_fraction_of_the_grid(self):
+        algorithm = SuccessiveHalving(self.AXES)
+
+        def score(params):
+            # higher fixed_r is better, deterministically
+            return float(params["strategy_params.fixed_r"]), {"pocd": 1.0}
+
+        executed = _drive(algorithm, score)
+        # rungs over 8 seeds with eta=2: 8x1 + 4x1 + 2x2 + 1x4 = 20 of 64
+        assert len(executed) == 20
+        assert len({p.trial_id for p in executed}) == 20
+        pruned = algorithm.drain_pruned()
+        assert len(pruned) == 44  # everything the grid would have paid for
+        assert len({p.trial_id for p, _ in pruned}) == 44
+        # the winner was evaluated on every seed
+        winner_trials = [
+            p for p in executed if p.params["strategy_params.fixed_r"] == 7
+        ]
+        assert {p.params["seed"] for p in winner_trials} == set(range(8))
+
+    def test_min_pocd_infeasibility_trumps_score(self):
+        algorithm = SuccessiveHalving(self.AXES, min_pocd=0.9)
+
+        def score(params):
+            r = params["strategy_params.fixed_r"]
+            # the best-scoring config misses the PoCD bar
+            return float(r), {"pocd": 0.5 if r == 7 else 1.0}
+
+        executed = _drive(algorithm, score)
+        survivors = {p.params["strategy_params.fixed_r"] for p in executed[-4:]}
+        assert survivors == {6}  # 7 was cut despite the top score
+        reasons = [reason for _, reason in algorithm.drain_pruned()]
+        assert any("pocd below 0.9" in reason for reason in reasons)
+
+    def test_failed_trials_count_as_infeasible(self):
+        algorithm = SuccessiveHalving(
+            {"strategy_params.fixed_r": [0, 1], "seed": [0, 1]}
+        )
+
+        def score(params):
+            if params["strategy_params.fixed_r"] == 1:
+                return None, None  # simulated scenario failure
+            return 1.0, {"pocd": 1.0}
+
+        executed = _drive(algorithm, score)
+        assert {p.params["strategy_params.fixed_r"] for p in executed[-1:]} == {0}
+
+    def test_requires_a_config_axis(self):
+        with pytest.raises(ValueError, match="config axis"):
+            SuccessiveHalving({"seed": [0, 1, 2, 3]})
+
+    def test_rejects_eta_below_two(self):
+        with pytest.raises(ValueError, match="eta"):
+            SuccessiveHalving(self.AXES, eta=1)
+
+    def test_tell_is_idempotent_across_rungs(self):
+        algorithm = SuccessiveHalving({"strategy_params.fixed_r": [0, 1], "seed": [0, 1]})
+        first_rung = algorithm.ask(2)
+        for proposal in first_rung:
+            algorithm.tell(proposal.trial_id, 1.0, {"pocd": 1.0})
+            algorithm.tell(proposal.trial_id, -99.0, {"pocd": 0.0})  # replay: no-op
+        assert not algorithm.finished()
+        _drive(algorithm, lambda params: (1.0, {"pocd": 1.0}))
+        assert algorithm.finished()
+
+
+class TestFrontierBisect:
+    def test_bisection_finds_the_frontier_in_log_evaluations(self):
+        values = list(range(8))
+        algorithm = FrontierBisect(
+            {"strategy_params.fixed_r": values}, min_pocd=0.9
+        )
+
+        def score(params):
+            r = params["strategy_params.fixed_r"]
+            return -float(r), {"pocd": 1.0 if r >= 3 else 0.5}
+
+        executed = _drive(algorithm, score, batch=1)
+        assert len(executed) == 3  # log2(8) evaluations
+        assert algorithm.finished()
+        best = algorithm.best_trial_id()
+        assert best == make_proposal({"strategy_params.fixed_r": 3}).trial_id
+        pruned = algorithm.drain_pruned()
+        assert len(executed) + len(pruned) == len(values)
+        reasons = " ".join(reason for _, reason in pruned)
+        assert "dominated" in reasons and "monotonicity" in reasons
+
+    def test_everything_infeasible_means_no_answer(self):
+        algorithm = FrontierBisect({"strategy_params.fixed_r": [0, 1, 2, 3]}, min_pocd=0.99)
+        _drive(algorithm, lambda params: (0.0, {"pocd": 0.1}), batch=1)
+        assert algorithm.finished()
+        assert algorithm.best_trial_id() is None
+
+    def test_single_outstanding_trial_at_a_time(self):
+        algorithm = FrontierBisect({"strategy_params.fixed_r": [0, 1, 2, 3]})
+        first = algorithm.ask(4)
+        assert len(first) == 1
+        assert algorithm.ask(4) == []  # waiting on the outstanding trial
+
+    def test_failed_trial_is_infeasible(self):
+        algorithm = FrontierBisect({"strategy_params.fixed_r": [0, 1]}, min_pocd=0.5)
+
+        def score(params):
+            if params["strategy_params.fixed_r"] == 0:
+                return None, None
+            return 1.0, {"pocd": 1.0}
+
+        _drive(algorithm, score, batch=1)
+        best = algorithm.best_trial_id()
+        assert best == make_proposal({"strategy_params.fixed_r": 1}).trial_id
+
+    def test_requires_exactly_one_multi_valued_axis(self):
+        with pytest.raises(ValueError, match="exactly one multi-valued axis"):
+            FrontierBisect({"seed": [0, 1], "strategy_params.fixed_r": [1, 2]})
+        # an explicit axis resolves the ambiguity — but the others must be constants
+        with pytest.raises(ValueError, match="single-valued"):
+            FrontierBisect(
+                {"seed": [0, 1], "strategy_params.fixed_r": [1, 2]},
+                axis="strategy_params.fixed_r",
+            )
+        with pytest.raises(ValueError, match="not one of the search axes"):
+            FrontierBisect({"seed": [0, 1]}, axis="strategy_params.tau_est")
+
+    def test_constant_axes_fold_into_proposals(self):
+        algorithm = FrontierBisect(
+            {"strategy_params.fixed_r": [0, 1, 2], "seed": [5]}
+        )
+        (proposal,) = algorithm.ask(1)
+        assert proposal.params["seed"] == 5
+
+
+class TestSearchEvents:
+    def test_new_events_round_trip_through_dicts(self):
+        events = [
+            TrialProposed(trial_id="t1", params={"seed": 1}, fingerprint="fp",
+                          algorithm="random", elapsed_s=0.5),
+            TrialPruned(trial_id="t2", params={"seed": 2}, reason="dominated",
+                        algorithm="frontier_bisect", elapsed_s=1.0),
+            SearchFinished(algorithm="grid", objective="utility", trials=4,
+                           executed=3, cache_hits=1, pruned=0, failures=0,
+                           best_trial_id="t1", best_objective=0.5, elapsed_s=2.0),
+        ]
+        for event in events:
+            clone = event_from_dict(event.to_dict())
+            assert clone == event
+
+    def test_stream_speaks_the_search_vocabulary(self):
+        events = list(stream_search(_tiny_spec(), AXES, algorithm="grid", batch=2))
+        kinds = [event.kind for event in events]
+        assert "sweep-started" not in kinds  # inner batch frames are absorbed
+        assert kinds[-1] == "search-finished"
+        proposed = [e for e in events if isinstance(e, TrialProposed)]
+        assert len(proposed) == 4
+        assert all(e.algorithm == "grid" and e.fingerprint for e in proposed)
+        completed = [e for e in events if e.kind == "scenario-completed"]
+        assert {e.fingerprint for e in completed} == {e.fingerprint for e in proposed}
+        finished = events[-1]
+        assert finished.trials == 4 and finished.executed == 4
+        assert finished.best_trial_id is not None
+
+    def test_stop_condition_sees_search_events(self):
+        stopped_on = []
+
+        def stop(event):
+            if isinstance(event, TrialProposed):
+                stopped_on.append(event)
+                return len(stopped_on) >= 2
+            return False
+
+        events = list(stream_search(_tiny_spec(), AXES, algorithm="grid", batch=1, stop=stop))
+        finished = events[-1]
+        assert isinstance(finished, SearchFinished)
+        assert finished.stopped and not finished.cancelled
+        assert finished.trials < 4
+
+
+class TestRunSearch:
+    def test_grid_search_matches_the_sweep(self):
+        result = run_search(_tiny_spec(), AXES, algorithm="grid", objective="utility")
+        sweep = Sweep.grid(_tiny_spec(), AXES).run()
+        assert len(result.completed) == 4
+        assert result.executed == 4 and result.failures == 0
+        by_utility = max(sweep.results, key=lambda r: r.report.net_utility(
+            r_min_pocd=r.spec.strategy_params.r_min_pocd, theta=r.spec.strategy_params.theta
+        ))
+        assert result.best.fingerprint == by_utility.fingerprint
+        assert result.best_params == {"seed": by_utility.spec.seed}
+
+    def test_max_trials_bounds_the_search(self):
+        result = run_search(_tiny_spec(), AXES, algorithm="grid", max_trials=2)
+        assert len(result.completed) == 2 and result.executed == 2
+
+    def test_shared_cache_turns_reruns_into_cache_hits(self, tmp_path):
+        from repro.api import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        first = run_search(_tiny_spec(), AXES, algorithm="grid", cache=cache)
+        assert first.executed == 4 and first.cache_hits == 0
+        second = run_search(_tiny_spec(), AXES, algorithm="grid", cache=cache)
+        assert second.executed == 0 and second.cache_hits == 4
+        assert second.best.trial_id == first.best.trial_id
+
+    def test_failed_scenarios_are_failed_trials_not_aborts(self):
+        bad = ScenarioSpec(
+            workload=WorkloadSpec("benchmark", {"name": "sort", "num_jobs": 0}),
+            strategy="s-resume",
+            cluster={"num_nodes": 0},
+        )
+        result = run_search(bad, {"seed": [0, 1]}, algorithm="grid")
+        assert result.failures == 2
+        assert result.best is None
+        states = {record.state for record in result.trials}
+        assert states == {"failed"}
+
+    def test_on_failure_raise_propagates(self):
+        bad = ScenarioSpec(
+            workload=WorkloadSpec("benchmark", {"name": "sort", "num_jobs": 0}),
+            strategy="s-resume",
+            cluster={"num_nodes": 0},
+        )
+        with pytest.raises(Exception):
+            run_search(bad, {"seed": [0]}, algorithm="grid", on_failure="raise")
+
+    def test_resume_executes_zero_scenarios(self, tmp_path):
+        ledger = tmp_path / "trials.sqlite"
+        first = run_search(
+            _tiny_spec(), AXES, algorithm="grid", objective="utility", ledger=ledger
+        )
+        assert first.executed == 4
+        executed_before = set()
+        with TrialLedger(ledger) as book:
+            executed_before = set(book.executed_fingerprints())
+
+        re_executed = []
+
+        def watch(event):
+            if event.kind == "scenario-completed":
+                re_executed.append(event.fingerprint)
+
+        second = run_search(
+            _tiny_spec(), AXES, algorithm="grid", objective="utility",
+            ledger=ledger, on_event=watch,
+        )
+        assert second.executed == 0 and re_executed == []
+        assert len(second.completed) == 4
+        assert second.best.trial_id == first.best.trial_id
+        with TrialLedger(ledger) as book:
+            assert set(book.executed_fingerprints()) == executed_before
+
+    def test_resume_with_another_algorithm_is_refused(self, tmp_path):
+        ledger = tmp_path / "trials.sqlite"
+        run_search(_tiny_spec(), AXES, algorithm="grid", ledger=ledger)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            run_search(_tiny_spec(), AXES, algorithm="random", ledger=ledger)
+
+    def test_resume_with_another_base_spec_is_refused(self, tmp_path):
+        ledger = tmp_path / "trials.sqlite"
+        run_search(_tiny_spec(), AXES, algorithm="grid", ledger=ledger)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            run_search(_tiny_spec(seed=9), AXES, algorithm="grid", ledger=ledger)
+
+    def test_validation_errors_are_eager(self):
+        with pytest.raises(SpecValidationError):
+            run_search("not a spec", AXES)
+        with pytest.raises(SpecValidationError):
+            run_search(_tiny_spec(), {})
+        with pytest.raises(ValueError, match="batch"):
+            run_search(_tiny_spec(), AXES, batch=0)
+        with pytest.raises(ValueError, match="max_trials"):
+            run_search(_tiny_spec(), AXES, max_trials=0)
+        with pytest.raises(ValueError, match="on_failure"):
+            run_search(_tiny_spec(), AXES, on_failure="retry")
+
+    def test_search_result_renders_text_and_csv(self):
+        result = run_search(_tiny_spec(), AXES, algorithm="grid")
+        text = result.to_text()
+        assert "grid search over utility" in text
+        assert "best:" in text
+        rows = result.to_csv().strip().splitlines()
+        assert rows[0] == "trial_id,state,objective,score,fingerprint,params"
+        assert len(rows) == 1 + len(result)
+
+    def test_search_class_wraps_run_and_stream(self):
+        search = Search(_tiny_spec(), AXES, algorithm="grid")
+        assert search.algorithm == "grid"
+        assert search.axes == {"seed": [0, 1, 2, 3]}
+        result = search.run(max_trials=2)
+        assert len(result.completed) == 2
+        events = list(search.stream(max_trials=1))
+        assert isinstance(events[-1], SearchFinished)
+
+    def test_frontier_bisect_end_to_end(self):
+        result = run_search(
+            _frontier_spec(),
+            {"strategy_params.fixed_r": list(range(8))},
+            algorithm="frontier_bisect",
+            objective="cost",
+            algorithm_params={"min_pocd": 0.9},
+        )
+        # the paper's question: cheapest replica budget with PoCD >= 0.9
+        assert result.best_params == {"strategy_params.fixed_r": 3}
+        assert result.executed == 3 and result.pruned == 5
+
+
+class TestSearchDistributed:
+    def test_search_runs_on_the_distributed_executor(self, tmp_path):
+        db = tmp_path / "queue.sqlite"
+        result = run_search(
+            _tiny_spec(), AXES, algorithm="grid", objective="utility",
+            executor="distributed", workers=2, db=db,
+        )
+        assert result.executed == 4 and len(result.completed) == 4
+        inline = run_search(_tiny_spec(), AXES, algorithm="grid", objective="utility")
+        assert result.best.fingerprint == inline.best.fingerprint
+
+    def test_trial_decisions_mirror_into_the_broker_event_log(self, tmp_path):
+        from repro.distributed import Broker
+
+        db = tmp_path / "queue.sqlite"
+        run_search(
+            _frontier_spec(),
+            {"strategy_params.fixed_r": list(range(4))},
+            algorithm="frontier_bisect",
+            objective="cost",
+            algorithm_params={"min_pocd": 0.9},
+            executor="distributed", workers=2, db=db,
+        )
+        with Broker(db) as broker:
+            kinds = [event["kind"] for event in broker.events_since(0, limit=10_000)]
+        assert "trial-proposed" in kinds
+        assert "trial-pruned" in kinds
+        assert kinds[-1] == "search-finished"
+
+
+class TestSearchCli:
+    def _write_spec(self, tmp_path, axes=None):
+        spec_file = tmp_path / "search.json"
+        spec_file.write_text(json.dumps({
+            "base": _tiny_spec().to_dict(),
+            "axes": axes or {"seed": [0, 1, 2, 3]},
+        }))
+        return spec_file
+
+    def test_search_command_prints_the_trial_table(self, tmp_path, capsys):
+        from repro.experiments import cli
+
+        spec_file = self._write_spec(tmp_path)
+        code = cli.main([
+            "search", "--spec", str(spec_file), "--algorithm", "grid", "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "grid search over utility" in out
+        assert "best:" in out
+
+    def test_search_command_resumes_from_the_ledger(self, tmp_path, capsys):
+        from repro.experiments import cli
+
+        spec_file = self._write_spec(tmp_path)
+        ledger = tmp_path / "trials.sqlite"
+        base_args = [
+            "search", "--spec", str(spec_file), "--algorithm", "grid",
+            "--ledger", str(ledger), "--quiet",
+        ]
+        assert cli.main(base_args) == 0
+        first = capsys.readouterr().out
+        assert "(4 executed" in first
+        assert cli.main(base_args) == 0
+        second = capsys.readouterr().out
+        assert "(0 executed" in second
+
+    def test_search_command_accepts_algo_params_and_csv(self, tmp_path, capsys):
+        from repro.experiments import cli
+
+        spec_file = tmp_path / "search.json"
+        spec_file.write_text(json.dumps({
+            "base": _frontier_spec().to_dict(),
+            "grid": {"strategy_params.fixed_r": [0, 1, 2, 3, 4, 5, 6, 7]},
+        }))
+        code = cli.main([
+            "search", "--spec", str(spec_file),
+            "--algorithm", "frontier_bisect", "--objective", "cost",
+            "--algo-param", "min_pocd=0.9", "--csv", "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[0] == "trial_id,state,objective,score,fingerprint,params"
+        assert len(lines) == 9  # 8 values: 3 completed + 5 pruned
+
+    def test_search_command_rejects_unknown_algorithm(self, tmp_path, capsys):
+        from repro.experiments import cli
+
+        spec_file = self._write_spec(tmp_path)
+        code = cli.main([
+            "search", "--spec", str(spec_file), "--algorithm", "bogus", "--quiet",
+        ])
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_search_command_rejects_bad_inputs(self, tmp_path, capsys):
+        from repro.experiments import cli
+
+        assert cli.main(["search", "--quiet"]) == 2  # no --spec
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"base": _tiny_spec().to_dict()}))  # no axes
+        assert cli.main(["search", "--spec", str(bad), "--quiet"]) == 2
+        spec_file = self._write_spec(tmp_path)
+        code = cli.main([
+            "search", "--spec", str(spec_file), "--algo-param", "min_pocd", "--quiet",
+        ])
+        assert code == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_parse_algo_params_types_values(self):
+        from repro.experiments.cli import parse_algo_params
+
+        params = parse_algo_params([
+            "min_pocd=0.95", "eta=3", "resource_axis=seed", "flag=true",
+        ])
+        assert params == {
+            "min_pocd": 0.95, "eta": 3, "resource_axis": "seed", "flag": True,
+        }
+
+
+class TestPublicSurface:
+    def test_repro_api_re_exports_the_adaptive_names(self):
+        import repro.api as api
+
+        for name in (
+            "Search", "SearchResult", "run_search", "stream_search",
+            "AlgorithmAdapter", "Proposal", "TrialLedger", "TrialRecord",
+            "register_algorithm", "available_algorithms", "make_algorithm",
+            "Objective", "register_objective", "available_objectives",
+        ):
+            assert getattr(api, name) is not None
+            assert name in api.__all__
+            assert name in dir(api)
+
+    def test_progress_line_renders_search_counters(self):
+        import io
+
+        from repro.experiments.cli import ProgressLine
+
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream, min_interval=0.0)
+        for event in stream_search(_tiny_spec(), AXES, algorithm="grid", batch=2):
+            line(event)
+        output = stream.getvalue()
+        assert "search" in output and "trials" in output
+        assert "done in" in output

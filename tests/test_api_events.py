@@ -23,9 +23,12 @@ from repro.api import (
     ScenarioRetried,
     ScenarioSpec,
     ScenarioStarted,
+    SearchFinished,
     Sweep,
     SweepFinished,
     SweepStarted,
+    TrialProposed,
+    TrialPruned,
     WorkloadSpec,
     available_stop_conditions,
     event_from_dict,
@@ -102,6 +105,19 @@ class TestSerialization:
             SweepFinished(
                 total=4, executed=2, cache_hits=1, failures=1,
                 cancelled=True, stopped=False, elapsed_s=0.8,
+            ),
+            TrialProposed(
+                trial_id="t0", params={"seed": 1}, fingerprint="f0",
+                algorithm="random", elapsed_s=0.9,
+            ),
+            TrialPruned(
+                trial_id="t1", params={"seed": 2}, reason="dominated",
+                algorithm="frontier_bisect", elapsed_s=1.0,
+            ),
+            SearchFinished(
+                algorithm="grid", objective="utility", trials=4, executed=3,
+                cache_hits=1, pruned=0, failures=0, best_trial_id="t0",
+                best_objective=0.5, cancelled=False, stopped=False, elapsed_s=1.1,
             ),
         ]
         assert {type(sample) for sample in samples} == set(EVENT_TYPES.values())

@@ -487,3 +487,80 @@ class TestSupervisedPool:
             RestartPolicy(backoff_factor=0.5)
         with pytest.raises(ValueError):
             RestartPolicy(backoff_s=2.0, backoff_max_s=1.0)
+
+
+class TestEventLogRetention:
+    """The event log is bounded: prunable past the done-watermark."""
+
+    def _settle(self, broker, count=3):
+        specs = [_tiny_spec(seed=i) for i in range(count)]
+        _enqueue(broker, specs)
+        while True:
+            task = broker.claim("w0")
+            if task is None:
+                break
+            broker.complete(task.fingerprint, "w0", {"ok": True})
+        return specs
+
+    def test_record_event_appends_and_validates_kind(self, broker):
+        seq = broker.record_event("trial-proposed", "fp0", detail="t-abc")
+        assert seq == broker.last_event_seq()
+        (row,) = broker.events_since(seq - 1)
+        assert row["kind"] == "trial-proposed"
+        assert row["fingerprint"] == "fp0" and row["detail"] == "t-abc"
+        with pytest.raises(ValueError, match="unknown event kind"):
+            broker.record_event("trial-started")
+
+    def test_watermark_is_pinned_by_in_flight_tasks(self, broker):
+        assert broker.done_watermark() == 1  # empty log: everything prunable
+        _enqueue(broker, [_tiny_spec()])
+        queued_seq = broker.last_event_seq()
+        assert broker.done_watermark() == queued_seq  # pending pins its event
+        task = broker.claim("w0")
+        assert broker.done_watermark() == queued_seq  # leased still pins it
+        broker.complete(task.fingerprint, "w0", {"ok": True})
+        assert broker.done_watermark() == broker.last_event_seq() + 1
+
+    def test_prune_deletes_settled_history_only(self, broker):
+        self._settle(broker)
+        live = _tiny_spec(seed=99)
+        _enqueue(broker, [live])
+        live_seq = broker.last_event_seq()
+        pruned = broker.prune_events()
+        assert pruned == 9  # 3 scenarios x (queued, started, completed)
+        remaining = broker.events_since(0)
+        assert [row["seq"] for row in remaining] == [live_seq]
+        assert remaining[0]["fingerprint"] == live.fingerprint()
+        # seqs are never reused: the next event continues the sequence
+        assert broker.record_event("trial-proposed") == live_seq + 1
+
+    def test_prune_accepts_an_explicit_cut(self, broker):
+        self._settle(broker, count=2)
+        top = broker.last_event_seq()
+        assert broker.prune_events(before_seq=top) == top - 1
+        assert [row["seq"] for row in broker.events_since(0)] == [top]
+        assert broker.prune_events() == 1  # rest is settled history too
+        assert broker.events_since(0) == []
+
+    def test_drain_auto_prunes_settled_history(self, broker):
+        self._settle(broker)
+        assert broker.last_event_seq() == 9
+        broker.drain()
+        assert broker.is_draining()
+        assert broker.events_since(0) == []
+        # the sequence survives the prune: observers (and `workers
+        # status`) still see how far the log ever got
+        assert broker.last_event_seq() == 9
+
+    def test_stats_surface_the_retained_span(self, broker):
+        self._settle(broker, count=2)
+        stats = broker.stats()
+        assert stats["events"] == 6
+        assert stats["events_retained"] == 6 and stats["events_first"] == 1
+        broker.prune_events(before_seq=4)
+        stats = broker.stats()
+        assert stats["events"] == 6
+        assert stats["events_retained"] == 3 and stats["events_first"] == 4
+        broker.prune_events()
+        stats = broker.stats()
+        assert stats["events_retained"] == 0 and stats["events_first"] is None

@@ -561,6 +561,50 @@ class TestEventLogRpc:
         first, second = broker.events_since(0, limit=2), broker.events_since(2)
         assert [e["seq"] for e in first + second] == seqs
 
+    def test_record_watermark_and_prune_round_trip(self, service):
+        """The retention RPCs behave like the local broker (PR 6 satellite)."""
+        spec = _tiny_spec()
+        broker = HttpBroker(service.url)
+        seq = broker.record_event("trial-proposed", "fp0", detail="t-abc")
+        assert seq == 1
+        (row,) = broker.events_since(0)
+        assert row["kind"] == "trial-proposed" and row["detail"] == "t-abc"
+        with pytest.raises(ServiceError, match="unknown event kind"):
+            broker.record_event("trial-started")
+
+        broker.enqueue([spec.to_dict()], [spec.fingerprint()])
+        queued_seq = broker.last_event_seq()
+        assert broker.done_watermark() == queued_seq  # pending task pins its event
+        assert broker.prune_events() == 1  # only the settled trial-proposed row goes
+        task = broker.claim("w1")
+        broker.complete(task.fingerprint, "w1", run(ScenarioSpec.from_dict(task.payload)).to_dict())
+        assert broker.done_watermark() == broker.last_event_seq() + 1
+        assert broker.prune_events() == 3  # queued, started, completed
+        assert broker.events_since(0) == []
+        stats = broker.stats()
+        assert stats["events_retained"] == 0 and stats["events_first"] is None
+
+    def test_search_mirrors_trial_events_through_the_service(self, service):
+        """An adaptive search against the service URL logs its decisions."""
+        from repro.api import run_search
+
+        base = _tiny_spec()
+        result = run_search(
+            base,
+            {"strategy_params.fixed_r": [1, 2], "seed": [0, 1]},
+            algorithm="successive_halving",
+            objective="utility",
+            executor="distributed",
+            broker=service.url,
+            workers=2,
+        )
+        assert result.executed >= 1 and result.pruned >= 1
+        broker = HttpBroker(service.url)
+        kinds = [e["kind"] for e in broker.events_since(0, limit=10_000)]
+        assert "trial-proposed" in kinds
+        assert "trial-pruned" in kinds
+        assert kinds[-1] == "search-finished"
+
     def test_release_pending_over_http(self, service):
         specs = [_tiny_spec(seed=s) for s in range(3)]
         broker = HttpBroker(service.url)

@@ -142,6 +142,37 @@ class TestExportColumnsCli:
         assert main(["export", "--db", str(db), "--columns", "nope"]) == 2
         assert "unknown summary column" in capsys.readouterr().err
 
+    def test_export_backfills_broker_written_rows(self, tmp_path, capsys):
+        """Rows written by ``Broker.complete`` export without a prior sweep.
+
+        The broker stores raw payloads only — no summary row — so a
+        database filled entirely by remote workers used to export an
+        empty table unless something else had touched it first.  The
+        export command now backfills before the column pushdown.
+        """
+        from repro.experiments.cli import main
+
+        db = tmp_path / "q.sqlite"
+        results = [run(_spec(seed)) for seed in (0, 1, 2)]
+        with Broker(db) as broker:
+            broker.enqueue(
+                [result.spec.to_dict() for result in results],
+                [result.fingerprint for result in results],
+            )
+            for result in results:
+                task = broker.claim("w-1")
+                broker.complete(task.fingerprint, "w-1", result.to_dict())
+        with SqliteResultStore(db) as store:
+            raw = store._conn.execute("SELECT COUNT(*) AS n FROM summaries").fetchone()
+            assert raw["n"] == 0  # broker wrote payloads only
+
+        assert main(["export", "--db", str(db), "--columns", "fingerprint,seed,pocd"]) == 0
+        out = capsys.readouterr().out
+        header, *body = [line for line in out.splitlines() if line]
+        assert header == "fingerprint,seed,pocd"
+        assert len(body) == 3
+        assert {line.split(",")[0] for line in body} == {r.fingerprint for r in results}
+
     def test_export_columns_to_file(self, tmp_path, capsys):
         from repro.experiments.cli import main
 
