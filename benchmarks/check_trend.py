@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Gate benchmark throughput against a committed baseline.
+
+CI uploads a pytest-benchmark JSON per commit but nothing used to read
+it — a 2x sweep slowdown would merge silently.  This script compares
+the throughput numbers each benchmark records in ``extra_info`` (every
+``*_per_sec`` key) against ``benchmarks/BENCH_baseline.json`` and fails
+on a regression beyond the tolerance:
+
+    python -m pytest benchmarks/test_bench_sweep.py benchmarks/test_bench_cluster.py \\
+        -q --benchmark-json /tmp/bench.json
+    python benchmarks/check_trend.py /tmp/bench.json            # gate (exit 1 on regression)
+    python benchmarks/check_trend.py /tmp/bench.json --update   # re-baseline after a win
+
+The default tolerance is generous (30% below baseline fails) because
+shared CI runners are noisy; the point is catching the step-function
+regressions — an accidentally quadratic queue, eager materialization on
+the stream path — not 5% jitter.  Benchmarks present on only one side
+are reported but never fail the gate, so adding or retiring a benchmark
+doesn't need a lockstep baseline commit.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict
+
+#: Fraction below baseline that fails the gate.
+DEFAULT_TOLERANCE = 0.30
+
+#: The committed baseline, next to this script.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+
+def throughputs(bench_json: dict) -> Dict[str, Dict[str, float]]:
+    """Extract ``{benchmark name: {metric: value}}`` throughput numbers.
+
+    Every ``extra_info`` key ending in ``_per_sec`` is a throughput the
+    benchmark chose to publish; anything else (labels, counts) is
+    context, not a gated metric.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for bench in bench_json.get("benchmarks", []):
+        metrics = {
+            key: float(value)
+            for key, value in (bench.get("extra_info") or {}).items()
+            if key.endswith("_per_sec") and isinstance(value, (int, float))
+        }
+        if metrics:
+            out[bench["name"]] = metrics
+    return out
+
+
+def compare(
+    current: Dict[str, Dict[str, float]],
+    baseline: Dict[str, Dict[str, float]],
+    tolerance: float,
+) -> int:
+    """Print a comparison; return the number of regressions."""
+    regressions = 0
+    for name in sorted(current):
+        if name not in baseline:
+            print(f"  new       {name} (no baseline; not gated)")
+            continue
+        for metric, value in sorted(current[name].items()):
+            base = baseline[name].get(metric)
+            if base is None or base <= 0:
+                continue
+            ratio = value / base
+            if ratio < 1.0 - tolerance:
+                regressions += 1
+                verdict = "REGRESSED"
+            else:
+                verdict = "ok" if ratio < 1.0 + tolerance else "improved"
+            print(
+                f"  {verdict:9s} {name} {metric}: "
+                f"{value:,.1f} vs baseline {base:,.1f} ({ratio:+.0%} of baseline)"
+            )
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  missing   {name} (in baseline, not in this run; not gated)")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline JSON to compare against (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop below baseline (default: 0.30)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating against it",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current = throughputs(json.loads(args.bench_json.read_text()))
+    except (OSError, ValueError) as error:
+        print(f"cannot read benchmark JSON {args.bench_json}: {error}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"{args.bench_json}: no *_per_sec metrics found", file=sys.stderr)
+        return 2
+
+    if args.update:
+        args.baseline.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {args.baseline} ({len(current)} benchmarks)")
+        return 0
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except OSError as error:
+        print(
+            f"cannot read baseline {args.baseline}: {error} "
+            f"(generate one with --update)",
+            file=sys.stderr,
+        )
+        return 2
+    except ValueError as error:
+        print(f"invalid JSON in baseline {args.baseline}: {error}", file=sys.stderr)
+        return 2
+
+    print(f"benchmark trend vs {args.baseline.name} (tolerance {args.tolerance:.0%}):")
+    regressions = compare(current, baseline, args.tolerance)
+    if regressions:
+        print(f"{regressions} throughput regression(s) beyond {args.tolerance:.0%}")
+        return 1
+    print("no throughput regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

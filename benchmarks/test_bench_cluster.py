@@ -1,0 +1,76 @@
+"""Benchmark the multi-job cluster simulation and its sweep path.
+
+Tracks two things: raw cluster-simulation throughput (jobs/sec through
+the shared-contention engine, the number the multijob harness's
+wall-clock is made of) and cluster-sweep throughput across executors,
+mirroring ``test_bench_sweep`` so `check_trend.py` gates both scenario
+families the same way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_specs
+from repro.cluster import ArrivalSpec, ClusterSpec
+
+
+def _cluster_base(num_jobs: int = 12) -> ClusterSpec:
+    return ClusterSpec(
+        arrival=ArrivalSpec(
+            "poisson",
+            {"benchmark": "sort", "num_jobs": num_jobs, "inter_arrival": 40.0},
+        ),
+        strategy="s-resume",
+        scheduler="fifo",
+        cluster={"num_nodes": 4, "slots_per_node": 4},
+    )
+
+
+#: Jobs pushed through one simulation of the throughput benchmark.
+SIM_JOBS = 24
+
+
+def test_cluster_simulation_throughput(benchmark):
+    """Jobs/sec through one contended cluster simulation."""
+    from repro.cluster import run_cluster
+
+    spec = _cluster_base(num_jobs=SIM_JOBS)
+
+    def simulate_once():
+        return run_cluster(spec)
+
+    result = benchmark.pedantic(simulate_once, rounds=3, iterations=1)
+    assert result.report.num_jobs == SIM_JOBS
+    mean_s = benchmark.stats.stats.mean
+    benchmark.extra_info["jobs"] = SIM_JOBS
+    benchmark.extra_info["jobs_per_sec"] = SIM_JOBS / max(mean_s, 1e-9)
+
+
+@pytest.mark.parametrize("executor", ["inline", "distributed"])
+def test_cluster_sweep_throughput(benchmark, executor, tmp_path):
+    """Cluster scenarios/sec through the sweep machinery per executor."""
+    from repro.api import Sweep
+
+    specs = Sweep.grid(
+        _cluster_base(), {"scheduler": ["fifo", "deadline_edf"], "seed": [0, 1]}
+    ).specs
+    kwargs = {"executor": executor}
+    if executor == "distributed":
+        kwargs["workers"] = 2
+        kwargs["db"] = tmp_path / "queue.sqlite"
+
+    def sweep_once():
+        if executor == "distributed":
+            db = kwargs["db"]
+            for leftover in db.parent.glob(db.name + "*"):
+                leftover.unlink()
+        return run_specs(specs, **kwargs)
+
+    outcome = benchmark.pedantic(sweep_once, rounds=1, iterations=1)
+    assert len(outcome.results) == len(specs)
+    assert outcome.executed == len(specs)
+    elapsed = max(outcome.wall_time_s, 1e-9)
+    benchmark.extra_info["executor"] = executor
+    benchmark.extra_info["scenarios"] = len(specs)
+    benchmark.extra_info["scenarios_per_sec"] = len(specs) / elapsed

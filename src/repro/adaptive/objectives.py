@@ -131,3 +131,27 @@ register_objective(
 register_objective(
     "machine_time", lambda result: result.report.mean_machine_time, direction="min"
 )
+
+
+def _miss_rate(result) -> float:
+    """Deadline-miss rate: the cluster aggregate when present, else 1-PoCD."""
+    report = result.report
+    value = getattr(report, "miss_rate", None)
+    if value is None:
+        value = 1.0 - float(report.pocd)
+    return float(value)
+
+
+def _sojourn(result) -> float:
+    """Mean sojourn time: cluster aggregate when present, else response time."""
+    report = result.report
+    value = getattr(report, "mean_sojourn_s", None)
+    if value is None:
+        value = report.mean_response_time
+    return float(value)
+
+
+# Cluster-oriented objectives.  Both also work on single-job results, so
+# mixed searches (scenario base vs cluster base) share one vocabulary.
+register_objective("miss_rate", _miss_rate, direction="min")
+register_objective("sojourn", _sojourn, direction="min")

@@ -56,6 +56,7 @@ from repro.api.sweep import (
     CancelToken,
     ResultCache,
     StopCondition,
+    _is_sweepable_spec,
     _resolve_stop,
     default_on_event,
     stream_specs,
@@ -165,8 +166,10 @@ def stream_search(
         ``on_failure`` defaults to ``"continue"`` (a failed trial is an
         infeasible data point, not a reason to abort the search).
     """
-    if not isinstance(base, ScenarioSpec):
-        raise SpecValidationError("base", f"expected ScenarioSpec, got {type(base).__name__}")
+    if not _is_sweepable_spec(base):
+        raise SpecValidationError(
+            "base", f"expected ScenarioSpec or ClusterSpec, got {type(base).__name__}"
+        )
     if not isinstance(axes, Mapping) or not axes:
         raise SpecValidationError(
             "axes", "must be a non-empty mapping of dotted paths to value lists"
@@ -664,9 +667,9 @@ class Search:
         algorithm_params: Optional[Mapping[str, Any]] = None,
         seed: int = 0,
     ):
-        if not isinstance(base, ScenarioSpec):
+        if not _is_sweepable_spec(base):
             raise SpecValidationError(
-                "base", f"expected ScenarioSpec, got {type(base).__name__}"
+                "base", f"expected ScenarioSpec or ClusterSpec, got {type(base).__name__}"
             )
         if not isinstance(axes, Mapping) or not axes:
             raise SpecValidationError(

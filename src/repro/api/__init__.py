@@ -49,6 +49,9 @@ event stream, executors and control surface as sweeps.
 
 from repro.api.events import (
     EVENT_TYPES,
+    JobArrived,
+    JobFinished,
+    JobStarted,
     ScenarioCacheHit,
     ScenarioCompleted,
     ScenarioFailed,
@@ -63,7 +66,15 @@ from repro.api.events import (
     TrialPruned,
     event_from_dict,
 )
-from repro.api.facade import ScenarioResult, report_from_dict, report_to_dict, run
+from repro.api.facade import (
+    ScenarioResult,
+    execute,
+    report_from_dict,
+    report_to_dict,
+    result_from_dict,
+    run,
+    spec_from_dict,
+)
 from repro.api.registry import (
     ESTIMATORS,
     STRATEGIES,
@@ -118,6 +129,10 @@ __all__ = [
     "ScenarioResult",
     "report_to_dict",
     "report_from_dict",
+    # polymorphic dispatch (scenario + cluster payloads)
+    "execute",
+    "spec_from_dict",
+    "result_from_dict",
     # sweeps
     "Sweep",
     "SweepResult",
@@ -149,6 +164,9 @@ __all__ = [
     "TrialProposed",
     "TrialPruned",
     "SearchFinished",
+    "JobArrived",
+    "JobStarted",
+    "JobFinished",
     "EVENT_TYPES",
     "event_from_dict",
     # registries
@@ -179,6 +197,18 @@ __all__ = [
     "Objective",
     "register_objective",
     "available_objectives",
+    # multi-job clusters (lazy — see __getattr__ below)
+    "ClusterSpec",
+    "ArrivalSpec",
+    "ClusterResult",
+    "ClusterReport",
+    "run_cluster",
+    "ARRIVALS",
+    "SCHEDULERS",
+    "register_arrival",
+    "register_cluster_scheduler",
+    "available_arrivals",
+    "available_cluster_schedulers",
 ]
 
 # repro.adaptive builds on the sweep layer, so importing it eagerly here
@@ -205,6 +235,25 @@ _ADAPTIVE_NAMES = frozenset(
 )
 
 
+# repro.cluster likewise builds on this package (specs, registries,
+# façade), so its re-exports use the same lazy-attribute pattern.
+_CLUSTER_NAMES = frozenset(
+    {
+        "ClusterSpec",
+        "ArrivalSpec",
+        "ClusterResult",
+        "ClusterReport",
+        "run_cluster",
+        "ARRIVALS",
+        "SCHEDULERS",
+        "register_arrival",
+        "register_cluster_scheduler",
+        "available_arrivals",
+        "available_cluster_schedulers",
+    }
+)
+
+
 def __getattr__(name):
     if name in _ADAPTIVE_NAMES:
         import repro.adaptive as _adaptive
@@ -212,8 +261,14 @@ def __getattr__(name):
         value = getattr(_adaptive, name)
         globals()[name] = value
         return value
+    if name in _CLUSTER_NAMES:
+        import repro.cluster as _cluster
+
+        value = getattr(_cluster, name)
+        globals()[name] = value
+        return value
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__():
-    return sorted(set(globals()) | _ADAPTIVE_NAMES)
+    return sorted(set(globals()) | _ADAPTIVE_NAMES | _CLUSTER_NAMES)

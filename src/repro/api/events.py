@@ -42,7 +42,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple, Type
 
-from repro.api.facade import ScenarioResult
+from repro.api.facade import ScenarioResult, result_from_dict
 
 
 @dataclass(frozen=True)
@@ -57,7 +57,9 @@ class SweepEvent:
         data: Dict[str, Any] = {"event": self.kind}
         for field in dataclasses.fields(self):
             value = getattr(self, field.name)
-            if isinstance(value, ScenarioResult):
+            if field.name in _RESULT_FIELDS and value is not None:
+                # ScenarioResult or ClusterResult — both serialize the
+                # same way and round-trip via result_from_dict.
                 value = value.to_dict()
             data[field.name] = value
         return data
@@ -233,6 +235,56 @@ class SearchFinished(SweepEvent):
     elapsed_s: float = 0.0
 
 
+@dataclass(frozen=True)
+class JobArrived(SweepEvent):
+    """A job entered a cluster simulation's admission queue.
+
+    Emitted by :func:`repro.cluster.run_cluster` (and the ``multijob``
+    CLI) for multi-job scenarios; ``time_s`` is *simulation* time,
+    ``queue_length`` the queue depth just after the arrival.
+    """
+
+    kind: ClassVar[str] = "job-arrived"
+
+    job_id: str = ""
+    workload: str = ""
+    fingerprint: str = ""
+    time_s: float = 0.0
+    queue_length: int = 0
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class JobStarted(SweepEvent):
+    """A queued job was admitted and its Application Master started."""
+
+    kind: ClassVar[str] = "job-started"
+
+    job_id: str = ""
+    workload: str = ""
+    fingerprint: str = ""
+    time_s: float = 0.0
+    queue_wait_s: float = 0.0
+    queue_length: int = 0
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class JobFinished(SweepEvent):
+    """A running job reached a terminal state (completed or missed)."""
+
+    kind: ClassVar[str] = "job-finished"
+
+    job_id: str = ""
+    workload: str = ""
+    fingerprint: str = ""
+    state: str = ""
+    met_deadline: bool = False
+    time_s: float = 0.0
+    sojourn_s: float = 0.0
+    elapsed_s: float = 0.0
+
+
 #: Every concrete event type, keyed by wire name.
 EVENT_TYPES: Dict[str, Type[SweepEvent]] = {
     cls.kind: cls
@@ -248,6 +300,9 @@ EVENT_TYPES: Dict[str, Type[SweepEvent]] = {
         TrialProposed,
         TrialPruned,
         SearchFinished,
+        JobArrived,
+        JobStarted,
+        JobFinished,
     )
 }
 
@@ -278,7 +333,7 @@ def event_from_dict(data: Mapping[str, Any]) -> SweepEvent:
         if key not in allowed:
             raise ValueError(f"{name}: unknown field {key!r}")
         if key in _RESULT_FIELDS and value is not None:
-            value = ScenarioResult.from_dict(value)
+            value = result_from_dict(value)
         kwargs[key] = value
     try:
         return cls(**kwargs)
@@ -299,6 +354,9 @@ __all__: Tuple[str, ...] = (
     "TrialProposed",
     "TrialPruned",
     "SearchFinished",
+    "JobArrived",
+    "JobStarted",
+    "JobFinished",
     "EVENT_TYPES",
     "event_from_dict",
 )

@@ -61,6 +61,25 @@ class ScenarioResult:
             wall_time_s=float(data["wall_time_s"]),
         )
 
+    def summary_row(self) -> Dict[str, Any]:
+        """Flat sweep-summary row (the columns of ``SweepResult.COLUMNS``)."""
+        params = self.spec.strategy_params
+        report = self.report
+        return {
+            "fingerprint": self.fingerprint,
+            "workload": self.spec.workload.kind,
+            "strategy": self.spec.strategy,
+            "estimator": self.spec.estimator or "default",
+            "seed": self.spec.seed,
+            "num_jobs": report.num_jobs,
+            "pocd": report.pocd,
+            "mean_cost": report.mean_cost,
+            "mean_machine_time": report.mean_machine_time,
+            "mean_response_time": report.mean_response_time,
+            "utility": report.net_utility(r_min_pocd=params.r_min_pocd, theta=params.theta),
+            "wall_time_s": self.wall_time_s,
+        }
+
 
 def report_to_dict(report: SimulationReport) -> Dict[str, Any]:
     """Serialize a :class:`SimulationReport` to JSON-native types."""
@@ -120,3 +139,49 @@ def run(spec: ScenarioSpec) -> ScenarioResult:
         fingerprint=spec.fingerprint(),
         wall_time_s=wall_time,
     )
+
+
+# ----------------------------------------------------------------------
+# Polymorphic spec/result dispatch
+# ----------------------------------------------------------------------
+# Cluster payloads carry a "kind": "cluster" discriminator (which plain
+# ScenarioSpec.from_dict would reject as an unknown field, so the two
+# payload spaces cannot be confused).  The cluster package imports
+# repro.api, hence the lazy imports here.
+_CLUSTER_KIND = "cluster"
+
+
+def _is_cluster_payload(data: Any) -> bool:
+    return isinstance(data, Mapping) and data.get("kind") == _CLUSTER_KIND
+
+
+def spec_from_dict(data: Mapping[str, Any]):
+    """Rebuild a :class:`ScenarioSpec` *or* ``ClusterSpec`` from JSON.
+
+    Dispatches on the ``"kind"`` discriminator: payloads tagged
+    ``"cluster"`` resolve through :mod:`repro.cluster`, everything else
+    through :meth:`ScenarioSpec.from_dict`.
+    """
+    if _is_cluster_payload(data):
+        from repro.cluster import ClusterSpec
+
+        return ClusterSpec.from_dict(data)
+    return ScenarioSpec.from_dict(data)
+
+
+def result_from_dict(data: Mapping[str, Any]):
+    """Rebuild a :class:`ScenarioResult` *or* ``ClusterResult`` from JSON."""
+    if isinstance(data, Mapping) and _is_cluster_payload(data.get("spec")):
+        from repro.cluster import ClusterResult
+
+        return ClusterResult.from_dict(data)
+    return ScenarioResult.from_dict(data)
+
+
+def execute(spec):
+    """Run any spec: :func:`run` for scenarios, ``run_cluster`` for clusters."""
+    if getattr(spec, "kind", None) == _CLUSTER_KIND:
+        from repro.cluster import run_cluster
+
+        return run_cluster(spec)
+    return run(spec)

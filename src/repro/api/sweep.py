@@ -76,7 +76,7 @@ from repro.api.events import (
     SweepFinished,
     SweepStarted,
 )
-from repro.api.facade import ScenarioResult, run
+from repro.api.facade import ScenarioResult, execute, result_from_dict, spec_from_dict
 from repro.api.registry import Registry, UnknownPluginError
 from repro.api.spec import ScenarioSpec, SpecValidationError
 from repro.simulator.metrics import SimulationReport
@@ -110,7 +110,7 @@ class ResultCache:
             path = self._directory / f"{fingerprint}.json"
             if path.is_file():
                 try:
-                    result = ScenarioResult.from_dict(json.loads(path.read_text()))
+                    result = result_from_dict(json.loads(path.read_text()))
                 except (ValueError, TypeError, KeyError):
                     return None
                 self._memory[fingerprint] = result
@@ -150,7 +150,18 @@ def _execute_spec_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     same serialization path as the on-disk cache and keeps the contract
     picklable regardless of what plugins produce.
     """
-    return run(ScenarioSpec.from_dict(payload)).to_dict()
+    return execute(spec_from_dict(payload)).to_dict()
+
+
+def _is_sweepable_spec(spec: Any) -> bool:
+    """Whether a value can anchor a sweep (scenario or cluster spec)."""
+    if isinstance(spec, ScenarioSpec):
+        return True
+    return (
+        getattr(spec, "kind", None) == "cluster"
+        and callable(getattr(spec, "with_overrides", None))
+        and callable(getattr(spec, "fingerprint", None))
+    )
 
 
 # ----------------------------------------------------------------------
@@ -416,29 +427,7 @@ class SweepResult:
 
     def to_rows(self) -> List[Dict[str, Any]]:
         """One summary dict per scenario (columns in :attr:`COLUMNS`)."""
-        rows = []
-        for result in self.results:
-            spec, report = result.spec, result.report
-            params = spec.strategy_params
-            rows.append(
-                {
-                    "fingerprint": result.fingerprint,
-                    "workload": spec.workload.kind,
-                    "strategy": spec.strategy,
-                    "estimator": spec.estimator or "default",
-                    "seed": spec.seed,
-                    "num_jobs": report.num_jobs,
-                    "pocd": report.pocd,
-                    "mean_cost": report.mean_cost,
-                    "mean_machine_time": report.mean_machine_time,
-                    "mean_response_time": report.mean_response_time,
-                    "utility": report.net_utility(
-                        r_min_pocd=params.r_min_pocd, theta=params.theta
-                    ),
-                    "wall_time_s": result.wall_time_s,
-                }
-            )
-        return rows
+        return [result.summary_row() for result in self.results]
 
     def to_csv(self) -> str:
         """The summary rows as CSV text."""
@@ -749,7 +738,7 @@ def _stream_inline(
             return
         yield ScenarioStarted(fingerprint=fingerprint, index=index, elapsed_s=clock())
         try:
-            outcome = run(spec)
+            outcome = execute(spec)
         except Exception as error:
             yield ScenarioFailed(
                 fingerprint=fingerprint,
@@ -812,7 +801,7 @@ def _stream_pool(
                             continue
                         fingerprint, index = futures[future]
                         try:
-                            outcome = ScenarioResult.from_dict(future.result())
+                            outcome = result_from_dict(future.result())
                         except (SpecValidationError, UnknownPluginError):
                             # Plugins registered only in this process are
                             # invisible to spawn/forkserver workers (children
@@ -1013,8 +1002,11 @@ class Sweep:
         base: ScenarioSpec,
         overrides: Optional[Sequence[Mapping[str, Any]]] = None,
     ):
-        if not isinstance(base, ScenarioSpec):
-            raise SpecValidationError("base", f"expected ScenarioSpec, got {type(base).__name__}")
+        if not _is_sweepable_spec(base):
+            raise SpecValidationError(
+                "base",
+                f"expected ScenarioSpec or ClusterSpec, got {type(base).__name__}",
+            )
         self._base = base
         cleaned = []
         for index, override in enumerate(overrides if overrides is not None else [{}]):

@@ -1,0 +1,69 @@
+"""Multi-job, open-arrival cluster simulation with shared-slot contention.
+
+This subsystem layers the multi-job question of Xu & Lau's cluster-scale
+formulation (and the open-arrival stability setting of speculative
+queueing networks) over the repository's single-job engine:
+
+* arrival models (``batch`` / ``poisson`` / ``trace``) generate a stream
+  of jobs through the :data:`ARRIVALS` registry,
+* a :class:`ClusterScheduler` (``fifo`` / ``fair`` / ``deadline_edf`` /
+  ``spec_budget``) decides admission into a shared slot pool,
+* every admitted job runs its own Application Master against one shared
+  engine + Resource Manager, so running jobs genuinely contend,
+* a :class:`ClusterReport` embeds the single-job report and adds
+  miss-rate, sojourn, utilization and queue-stability aggregates.
+
+The declarative surface mirrors the single-job API: a frozen,
+fingerprintable :class:`ClusterSpec`, a :func:`run_cluster` façade, and
+full sweep/search integration via the ``"kind": "cluster"`` payload
+discriminator (see :func:`repro.api.spec_from_dict`).
+"""
+
+from repro.cluster.arrivals import (
+    ARRIVALS,
+    arrival_rng,
+    available_arrivals,
+    build_arrivals,
+    register_arrival,
+)
+from repro.cluster.facade import ClusterResult, run_cluster
+from repro.cluster.metrics import (
+    ClusterReport,
+    cluster_report_from_dict,
+    cluster_report_to_dict,
+    queue_growth_rate,
+)
+from repro.cluster.scheduling import (
+    SCHEDULERS,
+    ClusterScheduler,
+    available_cluster_schedulers,
+    make_scheduler,
+    register_cluster_scheduler,
+)
+from repro.cluster.simulation import ClusterJob, ClusterSimulation, JobState
+from repro.cluster.spec import CLUSTER_KIND, ArrivalSpec, ClusterSpec
+
+__all__ = [
+    "ARRIVALS",
+    "ArrivalSpec",
+    "CLUSTER_KIND",
+    "ClusterJob",
+    "ClusterReport",
+    "ClusterResult",
+    "ClusterScheduler",
+    "ClusterSimulation",
+    "ClusterSpec",
+    "JobState",
+    "SCHEDULERS",
+    "arrival_rng",
+    "available_arrivals",
+    "available_cluster_schedulers",
+    "build_arrivals",
+    "cluster_report_from_dict",
+    "cluster_report_to_dict",
+    "make_scheduler",
+    "queue_growth_rate",
+    "register_arrival",
+    "register_cluster_scheduler",
+    "run_cluster",
+]

@@ -1,0 +1,161 @@
+"""Registry-pluggable job-arrival models for multi-job cluster runs.
+
+An arrival model turns ``(seed, params)`` into the stream of
+:class:`~repro.simulator.entities.JobSpec` values a cluster simulation
+will see, each carrying its own ``submit_time``.  Three builders ship
+with the package:
+
+``batch``
+    A closed batch: jobs from any registered workload, all re-submitted
+    at one instant (``at``, default 0.0).  With a single job this reduces
+    the cluster simulation to the single-job façade byte-for-byte.
+``poisson``
+    Open arrivals: a Poisson process over one benchmark profile (or the
+    round-robin ``mixed`` stream), parameterized by ``rate`` jobs/sec or
+    its inverse ``inter_arrival``.
+``trace``
+    Replay a registered workload verbatim, keeping the submit times the
+    workload builder generated (e.g. ``google-trace`` or ``benchmark``).
+
+Arrival randomness is drawn from a dedicated
+``np.random.SeedSequence([seed, _ARRIVAL_STREAM])`` stream — *not* from
+the engine's ``spawn_rng`` chain — so the per-job simulation streams stay
+aligned with single-job runs regardless of the arrival model in front of
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.api import registry as _registry
+from repro.api.registry import Registry
+from repro.simulator.entities import JobSpec
+from repro.traces.workloads import BENCHMARKS, get_benchmark
+
+#: Fixed tag mixed into the arrival RNG stream so it is independent of
+#: the engine's spawn chain (which per-job task sampling consumes).
+_ARRIVAL_STREAM = 0x0A221
+
+ArrivalBuilder = Callable[..., List[JobSpec]]
+
+ARRIVALS: Registry[ArrivalBuilder] = Registry("arrival")
+
+
+def register_arrival(name: str, builder: Optional[ArrivalBuilder] = None, *, overwrite: bool = False):
+    """Register an arrival-model builder (usable as a decorator)."""
+    return ARRIVALS.register(name, builder, overwrite=overwrite)
+
+
+def available_arrivals() -> tuple:
+    """Sorted names of registered arrival models."""
+    return ARRIVALS.names()
+
+
+def arrival_rng(seed: int) -> np.random.Generator:
+    """The dedicated RNG stream used by stochastic arrival models."""
+    return np.random.default_rng(np.random.SeedSequence([seed, _ARRIVAL_STREAM]))
+
+
+def build_arrivals(kind: str, params: Mapping[str, Any], seed: int) -> List[JobSpec]:
+    """Materialize an arrival stream, sorted by submit time."""
+    builder = ARRIVALS.get(kind)
+    try:
+        jobs = builder(seed=seed, **dict(params))
+    except TypeError as error:
+        raise ValueError(f"invalid parameters for arrival {kind!r}: {error}") from error
+    if not jobs:
+        raise ValueError(f"arrival model {kind!r} produced no jobs")
+    return sorted(jobs, key=lambda spec: spec.submit_time)
+
+
+def _workload_jobs(workload: Mapping[str, Any], seed: int) -> List[JobSpec]:
+    """Resolve a nested ``{"kind": ..., "params": ...}`` workload mapping."""
+    if not isinstance(workload, Mapping) or "kind" not in workload:
+        raise ValueError("workload must be a mapping with a 'kind' key")
+    unknown = sorted(set(workload) - {"kind", "params"})
+    if unknown:
+        raise ValueError(f"unknown workload field {unknown[0]!r} (allowed: kind, params)")
+    return _registry.build_jobs(workload["kind"], workload.get("params", {}), seed)
+
+
+@register_arrival("batch")
+def batch_arrivals(
+    workload: Mapping[str, Any],
+    at: float = 0.0,
+    *,
+    seed: int = 0,
+) -> List[JobSpec]:
+    """All jobs of a registered workload submitted at one instant."""
+    if at < 0:
+        raise ValueError("at must be non-negative")
+    return [
+        dataclasses.replace(spec, submit_time=float(at))
+        for spec in _workload_jobs(workload, seed)
+    ]
+
+
+@register_arrival("trace")
+def trace_arrivals(
+    workload: Mapping[str, Any],
+    *,
+    seed: int = 0,
+) -> List[JobSpec]:
+    """Replay a registered workload, keeping its own submit times."""
+    return list(_workload_jobs(workload, seed))
+
+
+@register_arrival("poisson")
+def poisson_arrivals(
+    benchmark: str = "mixed",
+    num_jobs: int = 50,
+    rate: Optional[float] = None,
+    inter_arrival: Optional[float] = None,
+    deadline: Optional[float] = None,
+    unit_price: float = 1.0,
+    *,
+    seed: int = 0,
+) -> List[JobSpec]:
+    """Open Poisson arrivals over benchmark job profiles.
+
+    Exactly one of ``rate`` (jobs/sec) or ``inter_arrival`` (mean seconds
+    between jobs) must be given.  ``benchmark`` names one profile from
+    :data:`repro.traces.workloads.BENCHMARKS` or ``"mixed"`` for a
+    round-robin over all of them.
+    """
+    if num_jobs < 1:
+        raise ValueError("num_jobs must be positive")
+    if (rate is None) == (inter_arrival is None):
+        raise ValueError("exactly one of rate or inter_arrival is required")
+    if rate is not None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        mean_gap = 1.0 / float(rate)
+    else:
+        if inter_arrival is None or inter_arrival <= 0:
+            raise ValueError("inter_arrival must be positive")
+        mean_gap = float(inter_arrival)
+
+    if benchmark == "mixed":
+        profiles = [BENCHMARKS[name] for name in sorted(BENCHMARKS)]
+    else:
+        profiles = [get_benchmark(benchmark)]
+
+    rng = arrival_rng(seed)
+    jobs: List[JobSpec] = []
+    clock = 0.0
+    for index in range(num_jobs):
+        clock += float(rng.exponential(mean_gap))
+        profile = profiles[index % len(profiles)]
+        jobs.append(
+            profile.job_spec(
+                job_id=f"{profile.name}-{index:04d}",
+                submit_time=clock,
+                unit_price=unit_price,
+                deadline=deadline,
+            )
+        )
+    return jobs

@@ -1,0 +1,110 @@
+"""The multi-job façade: ``run_cluster(spec) -> ClusterResult``.
+
+Mirrors :func:`repro.api.run` for :class:`ClusterSpec`.  A
+:class:`ClusterResult` carries the same four-field shape as
+:class:`~repro.api.facade.ScenarioResult` (spec, report, fingerprint,
+wall time) and serializes with the ``"kind": "cluster"`` discriminator
+inside its spec, so cluster results flow through the sweep cache, the
+distributed result store and the event stream unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.api.spec import SpecValidationError
+from repro.cluster.metrics import ClusterReport, cluster_report_from_dict, cluster_report_to_dict
+from repro.cluster.simulation import ClusterJob, ClusterSimulation
+from repro.cluster.spec import CLUSTER_KIND, ClusterSpec
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of running one cluster spec."""
+
+    spec: ClusterSpec
+    report: ClusterReport
+    fingerprint: str
+    wall_time_s: float
+
+    #: Discriminator, mirroring :attr:`ClusterSpec.kind`.
+    kind = CLUSTER_KIND
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used by caches and result stores)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "report": cluster_report_to_dict(self.report),
+            "fingerprint": self.fingerprint,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        if not isinstance(data, Mapping):
+            raise SpecValidationError("result", "expected a mapping")
+        missing = [key for key in ("spec", "report", "fingerprint", "wall_time_s") if key not in data]
+        if missing:
+            raise SpecValidationError(f"result.{missing[0]}", "is required")
+        return cls(
+            spec=ClusterSpec.from_dict(data["spec"]),
+            report=cluster_report_from_dict(data["report"]),
+            fingerprint=str(data["fingerprint"]),
+            wall_time_s=float(data["wall_time_s"]),
+        )
+
+    def summary_row(self) -> Dict[str, Any]:
+        """Flat sweep-summary row (same columns as single-job results).
+
+        The ``workload`` column carries ``cluster:<arrival kind>`` and
+        the ``strategy`` column the cluster scheduler, so mixed sweeps
+        stay readable in one table.
+        """
+        params = self.spec.strategy_params
+        report = self.report
+        return {
+            "fingerprint": self.fingerprint,
+            "workload": f"cluster:{self.spec.arrival.kind}",
+            "strategy": self.spec.scheduler,
+            "estimator": self.spec.estimator or "default",
+            "seed": self.spec.seed,
+            "num_jobs": report.num_jobs,
+            "pocd": report.pocd,
+            "mean_cost": report.mean_cost,
+            "mean_machine_time": report.mean_machine_time,
+            "mean_response_time": report.mean_response_time,
+            "utility": report.net_utility(r_min_pocd=params.r_min_pocd, theta=params.theta),
+            "wall_time_s": self.wall_time_s,
+        }
+
+
+#: Lifecycle observer: (phase, job, simulation-time, queue-length).
+JobEventObserver = Callable[[str, ClusterJob, float, int], None]
+
+
+def run_cluster(
+    spec: ClusterSpec, on_job_event: Optional[JobEventObserver] = None
+) -> ClusterResult:
+    """Execute one cluster scenario end to end and return its result.
+
+    ``on_job_event`` observes the job lifecycle live (phases
+    ``"arrived"``, ``"started"``, ``"finished"``) — the CLI uses it to
+    surface :class:`~repro.api.events.JobArrived` /
+    :class:`~repro.api.events.JobStarted` /
+    :class:`~repro.api.events.JobFinished` events.
+    """
+    if not isinstance(spec, ClusterSpec):
+        raise SpecValidationError("spec", f"expected ClusterSpec, got {type(spec).__name__}")
+    simulation = ClusterSimulation(spec, on_job_event=on_job_event)
+    started = time.perf_counter()
+    report = simulation.run()
+    wall_time = time.perf_counter() - started
+    return ClusterResult(
+        spec=spec,
+        report=report,
+        fingerprint=spec.fingerprint(),
+        wall_time_s=wall_time,
+    )

@@ -48,7 +48,8 @@ from repro.api.events import (
     ScenarioStarted,
     SweepEvent,
 )
-from repro.api.facade import ScenarioResult, run
+from repro.api.facade import ScenarioResult, spec_from_dict
+from repro.api.facade import execute as execute_spec
 from repro.api.spec import ScenarioSpec
 from repro.distributed.broker import TaskFailedError
 from repro.distributed.leases import LeasePolicy
@@ -411,7 +412,7 @@ def _stream(
                 elapsed_s=clock(),
             )
             try:
-                result = run(ScenarioSpec.from_dict(payload))
+                result = execute_spec(spec_from_dict(payload))
             except Exception as retry_error:
                 yield ScenarioFailed(
                     fingerprint=fingerprint,
@@ -555,7 +556,7 @@ def _drain_inline(broker, cancel, tail_log) -> Iterator[SweepEvent]:
             time.sleep(SUPERVISE_INTERVAL)
             continue
         try:
-            result = run(ScenarioSpec.from_dict(task.payload))
+            result = execute_spec(spec_from_dict(task.payload))
         except Exception as error:
             broker.fail(task.fingerprint, worker_id, f"{type(error).__name__}: {error}")
         else:

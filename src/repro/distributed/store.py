@@ -29,7 +29,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
-from repro.api.facade import ScenarioResult
+from repro.api.facade import ScenarioResult, result_from_dict
 from repro.simulator.metrics import net_utility
 from repro.strategies import StrategyParameters
 
@@ -143,6 +143,15 @@ def summary_from_payload(
     try:
         spec = payload["spec"]
         report = payload["report"]
+        if spec.get("kind") == "cluster":
+            # Cluster payloads nest the flat metrics one level down and
+            # label rows by arrival model + admission scheduler.
+            workload = f"cluster:{spec['arrival']['kind']}"
+            strategy = str(spec["scheduler"])
+            report = report["simulation"]
+        else:
+            workload = str(spec["workload"]["kind"])
+            strategy = str(spec["strategy"])
         params = spec.get("strategy_params") or {}
         r_min_pocd = float(params.get("r_min_pocd", _DEFAULT_PARAMS.r_min_pocd))
         theta = float(params.get("theta", _DEFAULT_PARAMS.theta))
@@ -152,8 +161,8 @@ def summary_from_payload(
             "fingerprint": str(
                 payload["fingerprint"] if fingerprint is None else fingerprint
             ),
-            "workload": str(spec["workload"]["kind"]),
-            "strategy": str(spec["strategy"]),
+            "workload": workload,
+            "strategy": strategy,
             "estimator": str(spec.get("estimator") or "default"),
             "seed": int(spec.get("seed", 0)),
             "num_jobs": int(report["num_jobs"]),
@@ -231,7 +240,7 @@ class SqliteResultStore:
         if row is None:
             return None
         try:
-            result = ScenarioResult.from_dict(json.loads(row["payload"]))
+            result = result_from_dict(json.loads(row["payload"]))
         except (ValueError, TypeError, KeyError):
             return None  # corrupt row: treat as a miss, like ResultCache
         self._memory[fingerprint] = result
@@ -376,7 +385,7 @@ class SqliteResultStore:
                 parsed.append(cached)
                 continue
             try:
-                result = ScenarioResult.from_dict(json.loads(row["payload"]))
+                result = result_from_dict(json.loads(row["payload"]))
             except (ValueError, TypeError, KeyError):
                 continue
             self._memory[result.fingerprint] = result

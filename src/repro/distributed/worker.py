@@ -34,8 +34,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.api.facade import run
-from repro.api.spec import ScenarioSpec
+from repro.api.facade import execute, spec_from_dict
 from repro.distributed.broker import Task
 from repro.distributed.leases import LeaseKeeper, LeasePolicy
 
@@ -226,7 +225,7 @@ class Worker:
             with keeper:
                 for task in tasks:
                     try:
-                        result = run(ScenarioSpec.from_dict(task.payload))
+                        result = execute(spec_from_dict(task.payload))
                     except Exception as error:  # scenario errors are terminal, not retried
                         self._broker.fail(
                             task.fingerprint, self.worker_id, f"{type(error).__name__}: {error}"

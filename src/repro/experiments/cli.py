@@ -5,6 +5,8 @@ Installed as ``chronos-experiments``.  Examples::
     chronos-experiments --list
     chronos-experiments figure2 --scale smoke --jobs 4
     chronos-experiments all --scale small --seed 1
+    chronos-experiments multijob --arrival poisson --load 0.8 \
+        --scheduler deadline_edf
     chronos-experiments sweep --spec sweep.json --jobs 4 --cache-dir .cache
     chronos-experiments sweep --spec sweep.json --executor distributed \
         --workers 3 --db queue.sqlite
@@ -37,7 +39,8 @@ of the form::
                 "seed": [0, 1] }
     }
 
-``base`` is a :class:`repro.api.ScenarioSpec` dictionary; ``grid`` maps
+``base`` is a :class:`repro.api.ScenarioSpec` dictionary (or a
+``{"kind": "cluster", ...}`` :class:`repro.api.ClusterSpec` one); ``grid`` maps
 dotted override paths to value lists (cartesian product), and an optional
 ``overrides`` list of mappings can be given instead of (or in addition
 to) ``grid``.
@@ -103,7 +106,6 @@ from repro.api import (
     ScenarioFailed,
     ScenarioQueued,
     ScenarioRetried,
-    ScenarioSpec,
     SearchFinished,
     SpecValidationError,
     Sweep,
@@ -116,12 +118,14 @@ from repro.api import (
     UnknownPluginError,
     set_default_executor,
     set_default_on_event,
+    spec_from_dict,
 )
 from repro.experiments.common import ExperimentScale, ExperimentTable
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
+from repro.experiments.multijob import run_multijob
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 
@@ -175,7 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=["all"],
         help=(
             "experiment names (figure2, table1, table2, figure3, figure4, figure5), "
-            "'all', 'sweep' to run a scenario sweep from --spec, "
+            "'all', 'multijob' to run the multi-job cluster experiment "
+            "(--arrival/--load/--scheduler), "
+            "'sweep' to run a scenario sweep from --spec, "
             "'search' to run an adaptive ask/tell search from --spec, "
             "'workers start|status|drain' to manage distributed sweep workers, "
             "'serve' to run the HTTP broker front-end, or "
@@ -198,6 +204,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--spec",
         help="sweep/search specification JSON file (used by 'sweep' and 'search')",
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=["batch", "poisson", "trace"],
+        default="poisson",
+        help="job arrival model for the 'multijob' experiment (default: poisson)",
+    )
+    parser.add_argument(
+        "--load",
+        type=float,
+        default=0.8,
+        help=(
+            "offered load of the 'multijob' scheduler comparison, normalized so "
+            "1.0 saturates the shared slot pool (default: 0.8)"
+        ),
+    )
+    parser.add_argument(
+        "--scheduler",
+        action="append",
+        metavar="NAME",
+        help=(
+            "cluster scheduling policy for 'multijob', repeatable or comma-"
+            "separated — fifo, fair, deadline_edf, spec_budget (default: "
+            "fifo,deadline_edf,spec_budget; the first drives the load curve)"
+        ),
     )
     parser.add_argument(
         "--algorithm",
@@ -621,7 +652,8 @@ def run_sweep_command(args: argparse.Namespace) -> int:
         print(f"{path}: sweep spec must be an object with a 'base' scenario", file=sys.stderr)
         return 2
     try:
-        base = ScenarioSpec.from_dict(payload["base"])
+        # Polymorphic: a plain scenario, or {"kind": "cluster", ...}.
+        base = spec_from_dict(payload["base"])
         overrides_payload = payload.get("overrides", [])
         if isinstance(overrides_payload, (str, bytes)) or not isinstance(overrides_payload, list):
             raise SpecValidationError("overrides", "must be a list of override mappings")
@@ -739,7 +771,7 @@ def run_search_command(args: argparse.Namespace) -> int:
         )
         return 2
     try:
-        base = ScenarioSpec.from_dict(payload["base"])
+        base = spec_from_dict(payload["base"])
     except SpecValidationError as error:
         print(f"{path}: {error}", file=sys.stderr)
         return 2
@@ -1075,6 +1107,72 @@ def format_worker_status(stats: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def parse_scheduler_args(items: Optional[Sequence[str]]) -> Optional[List[str]]:
+    """Flatten repeated/comma-separated ``--scheduler`` flags."""
+    if not items:
+        return None
+    names = [name.strip() for item in items for name in item.split(",")]
+    return [name for name in names if name] or None
+
+
+def run_multijob_command(args: argparse.Namespace) -> int:
+    """Handle ``chronos-experiments multijob --arrival … --load … --scheduler …``.
+
+    Runs the multi-job cluster experiment (scheduler comparison at the
+    given load plus the miss-rate-vs-load stability curve) through the
+    same executor rerouting, progress line and security environment as
+    the paper harnesses.
+    """
+    scale = ExperimentScale(args.scale)
+    started = time.time()
+    progress = ProgressLine() if progress_enabled(args) else None
+    try:
+        if args.executor or args.broker:
+            set_default_executor(
+                args.executor, workers=args.workers, db=args.db, broker=args.broker
+            )
+        if progress is not None:
+            set_default_on_event(progress)
+        tables = _tables_of(
+            run_multijob(
+                scale,
+                seed=args.seed,
+                jobs=max(1, args.jobs),
+                arrival=args.arrival,
+                load=args.load,
+                schedulers=parse_scheduler_args(args.scheduler),
+            )
+        )
+    except (SpecValidationError, UnknownPluginError, ValueError) as error:
+        # e.g. an unknown --scheduler name or a non-positive --load
+        print(f"multijob: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted: multijob experiment stopped mid-sweep", file=sys.stderr)
+        return 130
+    except Exception as error:
+        from repro.service import ServiceAuthError, ServiceError
+
+        if isinstance(error, ServiceAuthError):
+            print(f"sweep service authentication failed: {error}", file=sys.stderr)
+            return 2
+        if isinstance(error, ServiceError):
+            print(f"sweep service error: {error}", file=sys.stderr)
+            return 2
+        raise
+    finally:
+        if args.executor or args.broker:
+            set_default_executor(None)
+        if progress is not None:
+            set_default_on_event(None)
+            progress.abort()
+    for table in tables:
+        print(table.to_text())
+        print()
+    print(f"completed {len(tables)} tables in {time.time() - started:.1f}s")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -1095,6 +1193,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return run_serve_command(args)
         if args.experiments and args.experiments[0] == "export":
             return run_export_command(args)
+        if args.experiments and args.experiments[0] == "multijob":
+            return run_multijob_command(args)
         return run_harness_commands(args)
     finally:
         restore_environment(previous_env)

@@ -34,7 +34,7 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.api.facade import ScenarioResult
+from repro.api.facade import ScenarioResult, result_from_dict
 from repro.distributed.broker import Task, TaskRecord
 from repro.distributed.leases import LeasePolicy
 from repro.service.protocol import (
@@ -369,7 +369,7 @@ class HttpResultStore:
         if payload is None:
             return None
         try:
-            result = ScenarioResult.from_dict(payload)
+            result = result_from_dict(payload)
         except (ValueError, TypeError, KeyError):
             return None  # corrupt row: treat as a miss, like the local stores
         self._memory[fingerprint] = result

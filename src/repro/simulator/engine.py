@@ -2,7 +2,10 @@
 
 The engine keeps a priority queue of timestamped events; each event wraps
 a callback.  Ties are broken by insertion order so runs are fully
-deterministic for a given seed, which the test suite relies on.
+deterministic for a given seed, which the test suite relies on.  The heap
+itself stores immutable ``(time, sequence, event)`` triples, so ordering
+can never be perturbed by mutation of an already-scheduled event — the
+tie-break by insertion sequence is structural, not incidental.
 """
 
 from __future__ import annotations
@@ -11,7 +14,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,7 +51,7 @@ class SimulationEngine:
 
     def __init__(self, seed: Optional[int] = 0):
         self._now = 0.0
-        self._queue: List[Event] = []
+        self._queue: List[Tuple[float, int, Event]] = []
         self._sequence = itertools.count()
         self._processed = 0
         self._seed_sequence = np.random.SeedSequence(seed)
@@ -94,7 +97,10 @@ class SimulationEngine:
                 f"cannot schedule an event in the past (now={self._now}, requested={time})"
             )
         event = Event(time=time, sequence=next(self._sequence), callback=callback, args=args)
-        heapq.heappush(self._queue, event)
+        # The heap entry is an immutable (time, sequence, event) triple:
+        # even if callers mutate the Event after scheduling, the queue
+        # order stays fixed at what it was on insertion.
+        heapq.heappush(self._queue, (event.time, event.sequence, event))
         return event
 
     def schedule_after(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
@@ -109,7 +115,7 @@ class SimulationEngine:
     def step(self) -> bool:
         """Execute the next non-cancelled event; return False when idle."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            _, _, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
             self._now = event.time
@@ -133,7 +139,7 @@ class SimulationEngine:
         while self._queue:
             if max_events is not None and executed >= max_events:
                 return
-            event = self._queue[0]
+            event = self._queue[0][2]
             if event.cancelled:
                 heapq.heappop(self._queue)
                 continue

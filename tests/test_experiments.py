@@ -522,3 +522,69 @@ class TestServiceCli:
         finally:
             process.terminate()
             process.wait(timeout=10.0)
+
+
+class TestMultijobCommand:
+    def test_harness_returns_both_tables(self):
+        from repro.experiments.multijob import run_multijob
+
+        tables = run_multijob(ExperimentScale.SMOKE, seed=0, loads=[0.6, 1.2])
+        assert set(tables) == {"schedulers", "load_curve"}
+        schedulers = tables["schedulers"]
+        assert [row.label for row in schedulers.rows] == [
+            "fifo", "deadline_edf", "spec_budget",
+        ]
+        for row in schedulers.rows:
+            assert 0.0 <= row.values["miss_rate"] <= 1.0
+            assert 0.0 <= row.values["slot_utilization"] <= 1.0
+        curve = tables["load_curve"]
+        assert list(curve.column("load").values()) == [0.6, 1.2]
+
+    def test_load_normalization_scales_inter_arrival(self):
+        from repro.experiments.multijob import inter_arrival_for_load
+
+        slow = inter_arrival_for_load(0.5, "sort", 16)
+        fast = inter_arrival_for_load(1.0, "sort", 16)
+        assert slow == pytest.approx(2.0 * fast)
+        with pytest.raises(ValueError):
+            inter_arrival_for_load(0.0, "sort", 16)
+
+    def test_cli_runs_multijob_end_to_end(self, capsys):
+        code = main(
+            ["multijob", "--scale", "smoke", "--arrival", "poisson",
+             "--load", "0.8", "--scheduler", "deadline_edf", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "multijob-schedulers" in out
+        assert "multijob-load-curve" in out
+        assert "deadline_edf" in out
+        assert "completed 2 tables" in out
+
+    def test_cli_rejects_unknown_scheduler(self, capsys):
+        code = main(["multijob", "--scale", "smoke", "--scheduler", "lottery", "--quiet"])
+        assert code == 2
+        assert "lottery" in capsys.readouterr().err
+
+    def test_cli_sweep_accepts_cluster_spec(self, tmp_path, capsys):
+        import json
+
+        payload = {
+            "base": {
+                "kind": "cluster",
+                "arrival": {
+                    "kind": "poisson",
+                    "params": {"benchmark": "sort", "num_jobs": 3, "inter_arrival": 60.0},
+                },
+                "strategy": "s-resume",
+                "scheduler": "fifo",
+                "cluster": {"num_nodes": 4, "slots_per_node": 4},
+            },
+            "grid": {"scheduler": ["fifo", "deadline_edf"]},
+        }
+        path = tmp_path / "cluster_sweep.json"
+        path.write_text(json.dumps(payload))
+        assert main(["sweep", "--spec", str(path), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster:poisson" in out
+        assert "2 scenarios: 2 executed" in out

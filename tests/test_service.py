@@ -277,6 +277,27 @@ class TestHttpResultStore:
         with SqliteResultStore(service.db) as local:
             assert local.get(result.fingerprint).report == result.report
 
+    def test_cluster_result_round_trip(self, service):
+        """Cluster payloads must parse on the HTTP read path, not fall
+        through the corrupt-row branch and report a store miss."""
+        from repro.cluster import ArrivalSpec, ClusterResult, ClusterSpec, run_cluster
+
+        spec = ClusterSpec(
+            arrival=ArrivalSpec(
+                "poisson", {"benchmark": "sort", "num_jobs": 2, "inter_arrival": 30.0}
+            ),
+            strategy="s-resume",
+            cluster={"num_nodes": 4, "slots_per_node": 4},
+        )
+        result = run_cluster(spec)
+        # All jobs reach a terminal state, so every metric is finite and
+        # the dict equality below is not comparing NaN to NaN.
+        assert set(result.report.job_states) <= {"completed", "missed"}
+        HttpResultStore(service.url).put(result)
+        fetched = HttpResultStore(service.url).get(spec.fingerprint())  # no local memo
+        assert isinstance(fetched, ClusterResult)
+        assert fetched.to_dict() == result.to_dict()
+
 
 class TestHttpWorker:
     def test_worker_drains_queue_over_http(self, service):

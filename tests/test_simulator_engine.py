@@ -137,3 +137,25 @@ class TestRandomStreams:
         a = SimulationEngine(seed=1).spawn_rng().uniform()
         b = SimulationEngine(seed=2).spawn_rng().uniform()
         assert a != b
+
+
+class TestOrderImmutability:
+    def test_mutating_a_scheduled_event_does_not_reorder_the_queue(self):
+        # The heap stores immutable (time, sequence, event) triples, so
+        # the execution order is fixed at insertion even if a caller
+        # mutates the Event afterwards.
+        engine = SimulationEngine()
+        calls = []
+        first = engine.schedule_at(5.0, lambda: calls.append("first"))
+        engine.schedule_at(10.0, lambda: calls.append("second"))
+        first.time = 99.0  # would sort last if ordering consulted the field
+        engine.run()
+        assert calls == ["first", "second"]
+
+    def test_tie_break_is_by_insertion_sequence_not_event_identity(self):
+        engine = SimulationEngine()
+        calls = []
+        events = [engine.schedule_at(1.0, lambda i=i: calls.append(i)) for i in range(20)]
+        assert [event.sequence for event in events] == sorted(e.sequence for e in events)
+        engine.run()
+        assert calls == list(range(20))
