@@ -18,13 +18,21 @@ regressions — an accidentally quadratic queue, eager materialization on
 the stream path — not 5% jitter.  Benchmarks present on only one side
 are reported but never fail the gate, so adding or retiring a benchmark
 doesn't need a lockstep baseline commit.  Stdlib only.
+
+Besides gating, every run appends one line to
+``benchmarks/BENCH_trend.jsonl`` — ``{"recorded_at", "commit",
+"benchmarks"}`` — so the repository accumulates a visible performance
+trajectory instead of a single mutable baseline; disable with
+``--no-trend`` or redirect with ``--trend PATH``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from pathlib import Path
 from typing import Dict
 
@@ -33,6 +41,9 @@ DEFAULT_TOLERANCE = 0.30
 
 #: The committed baseline, next to this script.
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+#: Append-only run history, next to this script (one JSON object per line).
+DEFAULT_TREND = Path(__file__).resolve().parent / "BENCH_trend.jsonl"
 
 
 def throughputs(bench_json: dict) -> Dict[str, Dict[str, float]]:
@@ -84,6 +95,28 @@ def compare(
     return regressions
 
 
+def append_trend(path: Path, current: Dict[str, Dict[str, float]]) -> None:
+    """Append one run's throughputs to the JSONL trajectory (best effort).
+
+    The commit comes from ``GITHUB_SHA`` when CI sets it; a missing or
+    unwritable trend file never fails the gate — the trajectory is an
+    observability aid, not a correctness check.
+    """
+    line = json.dumps(
+        {
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "commit": os.environ.get("GITHUB_SHA"),
+            "benchmarks": current,
+        },
+        sort_keys=True,
+    )
+    try:
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+    except OSError as error:
+        print(f"warning: cannot append trend line to {path}: {error}", file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("bench_json", type=Path, help="pytest-benchmark JSON output")
@@ -104,6 +137,17 @@ def main(argv=None) -> int:
         action="store_true",
         help="rewrite the baseline from this run instead of gating against it",
     )
+    parser.add_argument(
+        "--trend",
+        type=Path,
+        default=DEFAULT_TREND,
+        help=f"JSONL run history to append this run to (default: {DEFAULT_TREND.name})",
+    )
+    parser.add_argument(
+        "--no-trend",
+        action="store_true",
+        help="skip appending this run to the trend file",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -114,6 +158,9 @@ def main(argv=None) -> int:
     if not current:
         print(f"{args.bench_json}: no *_per_sec metrics found", file=sys.stderr)
         return 2
+
+    if not args.no_trend:
+        append_trend(args.trend, current)
 
     if args.update:
         args.baseline.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")

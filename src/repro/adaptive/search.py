@@ -61,6 +61,13 @@ from repro.api.sweep import (
     default_on_event,
     stream_specs,
 )
+from repro import telemetry
+
+_TRIALS = telemetry.counter(
+    "chronos_search_trials_total",
+    "Adaptive-search trial decisions, by decision",
+    labelnames=("decision",),
+)
 
 
 class _TrialEventLog:
@@ -288,6 +295,7 @@ def _search_stream(
                 fingerprint = spec.fingerprint()
                 book.propose(proposal.trial_id, proposal.params)
                 book.lease(proposal.trial_id, fingerprint)
+                _TRIALS.labels(decision="proposed").inc()
                 event = TrialProposed(
                     trial_id=proposal.trial_id,
                     params=dict(proposal.params),
@@ -345,6 +353,7 @@ def _search_stream(
             for proposal, reason in algo.drain_pruned():
                 book.prune(proposal.trial_id, proposal.params, reason)
                 pruned_total += 1
+                _TRIALS.labels(decision="pruned").inc()
                 event = TrialPruned(
                     trial_id=proposal.trial_id,
                     params=dict(proposal.params),

@@ -34,6 +34,13 @@ monotonic event log in sqlite, and the HTTP service relays it via the
 ``events_since`` RPC.  ``index`` is the scenario's position in the
 submitted spec list (duplicates share the first position); ``elapsed_s``
 is wall time since the sweep began.
+
+Every event also carries an optional ``sweep_id`` — the correlation id
+:func:`repro.telemetry.new_sweep_id` mints once per sweep and
+``stream_specs`` stamps onto the stream (and into the broker's
+``queued`` rows), so one sweep's events are joinable across hosts; see
+``chronos-experiments trace``.  Pre-telemetry payloads without the field
+still deserialize (it defaults to ``None``).
 """
 
 from __future__ import annotations
@@ -74,6 +81,7 @@ class SweepStarted(SweepEvent):
     total: int = 0
     executor: str = "inline"
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -85,6 +93,7 @@ class ScenarioQueued(SweepEvent):
     fingerprint: str = ""
     index: int = 0
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -103,6 +112,7 @@ class ScenarioStarted(SweepEvent):
     index: int = 0
     worker_id: Optional[str] = None
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -115,6 +125,7 @@ class ScenarioCacheHit(SweepEvent):
     index: int = 0
     result: Optional[ScenarioResult] = None
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -128,6 +139,7 @@ class ScenarioCompleted(SweepEvent):
     result: Optional[ScenarioResult] = None
     worker_id: Optional[str] = None
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -140,6 +152,7 @@ class ScenarioFailed(SweepEvent):
     index: int = 0
     error: str = ""
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -154,6 +167,7 @@ class ScenarioRetried(SweepEvent):
     reason: str = ""
     worker_id: Optional[str] = None
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -169,6 +183,7 @@ class SweepFinished(SweepEvent):
     cancelled: bool = False
     stopped: bool = False
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -188,6 +203,7 @@ class TrialProposed(SweepEvent):
     fingerprint: str = ""
     algorithm: str = ""
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -207,6 +223,7 @@ class TrialPruned(SweepEvent):
     reason: str = ""
     algorithm: str = ""
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -233,6 +250,7 @@ class SearchFinished(SweepEvent):
     cancelled: bool = False
     stopped: bool = False
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -252,6 +270,7 @@ class JobArrived(SweepEvent):
     time_s: float = 0.0
     queue_length: int = 0
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -267,6 +286,7 @@ class JobStarted(SweepEvent):
     queue_wait_s: float = 0.0
     queue_length: int = 0
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -283,6 +303,7 @@ class JobFinished(SweepEvent):
     time_s: float = 0.0
     sojourn_s: float = 0.0
     elapsed_s: float = 0.0
+    sweep_id: Optional[str] = None
 
 
 #: Every concrete event type, keyed by wire name.

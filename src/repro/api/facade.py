@@ -21,11 +21,16 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping
 
+from repro import telemetry
 from repro.api import registry as _registry
 from repro.api.spec import ScenarioSpec, SpecValidationError
 from repro.core.model import StrategyName
 from repro.simulator.metrics import JobRecord, SimulationReport
 from repro.simulator.runner import SimulationRunner, default_estimator_for
+
+_SCENARIO_WALL = telemetry.histogram(
+    "chronos_scenario_wall_seconds", "Wall-clock of one scenario simulation"
+)
 
 
 @dataclass(frozen=True)
@@ -129,10 +134,12 @@ def run(spec: ScenarioSpec) -> ScenarioResult:
         hadoop=spec.hadoop,
         seed=spec.seed,
         max_events=spec.max_events,
+        profiler=telemetry.active_profiler(),
     )
     started = time.perf_counter()
     report = runner.run(jobs, strategy, estimator=estimator)
     wall_time = time.perf_counter() - started
+    _SCENARIO_WALL.observe(wall_time)
     return ScenarioResult(
         spec=spec,
         report=report,

@@ -51,7 +51,7 @@ import os
 import threading
 import time
 import uuid
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import (
     Any,
@@ -80,6 +80,22 @@ from repro.api.facade import ScenarioResult, execute, result_from_dict, spec_fro
 from repro.api.registry import Registry, UnknownPluginError
 from repro.api.spec import ScenarioSpec, SpecValidationError
 from repro.simulator.metrics import SimulationReport
+from repro import telemetry
+from repro.telemetry import new_sweep_id
+
+_SWEEP_SCENARIOS = telemetry.counter(
+    "chronos_sweep_scenarios_total",
+    "Scenarios resolved by sweeps, by outcome",
+    labelnames=("outcome",),
+)
+_SWEEP_RATE = telemetry.gauge(
+    "chronos_sweep_scenarios_per_second",
+    "Scenario throughput (executed + cache hits over wall time) of the last sweep",
+)
+_SWEEP_HIT_RATIO = telemetry.gauge(
+    "chronos_sweep_cache_hit_ratio",
+    "Fraction of the last sweep answered by caches instead of execution",
+)
 
 
 class ResultCache:
@@ -594,9 +610,16 @@ def _event_stream(
 ) -> Iterator[SweepEvent]:
     """The generator behind :func:`stream_specs` (options pre-validated)."""
     started = time.perf_counter()
+    sweep_id = new_sweep_id()
 
     def clock() -> float:
         return time.perf_counter() - started
+
+    def stamp(event: SweepEvent) -> SweepEvent:
+        """Correlate one event with this sweep (backends never set the id)."""
+        if getattr(event, "sweep_id", None) is None:
+            return replace(event, sweep_id=sweep_id)
+        return event
 
     executed = 0
     cache_hits = 0
@@ -610,7 +633,9 @@ def _event_stream(
             stopped = True
             token.cancel()
 
-    event: SweepEvent = SweepStarted(total=len(specs), executor=executor, elapsed_s=clock())
+    event: SweepEvent = SweepStarted(
+        total=len(specs), executor=executor, elapsed_s=clock(), sweep_id=sweep_id
+    )
     yield event
     note(event)
 
@@ -622,12 +647,19 @@ def _event_stream(
         cached = cache.get(fingerprint) if cache is not None else None
         if cached is not None:
             cache_hits += 1
+            _SWEEP_SCENARIOS.labels(outcome="cache_hit").inc()
             event = ScenarioCacheHit(
-                fingerprint=fingerprint, index=index, result=cached, elapsed_s=clock()
+                fingerprint=fingerprint,
+                index=index,
+                result=cached,
+                elapsed_s=clock(),
+                sweep_id=sweep_id,
             )
         else:
             pending_by_fp.setdefault(fingerprint, []).append(index)
-            event = ScenarioQueued(fingerprint=fingerprint, index=index, elapsed_s=clock())
+            event = ScenarioQueued(
+                fingerprint=fingerprint, index=index, elapsed_s=clock(), sweep_id=sweep_id
+            )
         yield event
         note(event)
 
@@ -647,11 +679,13 @@ def _event_stream(
             token=token,
             on_failure=on_failure,
             clock=clock,
+            span={"sweep_id": sweep_id},
         )
         try:
             for event in backend:
                 if isinstance(event, ScenarioCompleted):
                     executed += 1
+                    _SWEEP_SCENARIOS.labels(outcome="executed").inc()
                     # Cache each result the moment it exists, so work
                     # already done survives a later failure or cancel.
                     if cache is not None and event.result is not None:
@@ -660,15 +694,22 @@ def _event_stream(
                     # Served by the queue's result store: paid for by an
                     # earlier run, so a cache hit rather than an execution.
                     cache_hits += 1
+                    _SWEEP_SCENARIOS.labels(outcome="cache_hit").inc()
                     if cache is not None and event.result is not None:
                         cache.put(event.result)
                 elif isinstance(event, ScenarioFailed):
                     failures += 1
-                yield event
+                    _SWEEP_SCENARIOS.labels(outcome="failed").inc()
+                yield stamp(event)
                 note(event)
         finally:
             backend.close()
 
+    elapsed = clock()
+    if elapsed > 0:
+        _SWEEP_RATE.set((executed + cache_hits) / elapsed)
+    if specs:
+        _SWEEP_HIT_RATIO.set(cache_hits / len(specs))
     yield SweepFinished(
         total=len(specs),
         executed=executed,
@@ -676,7 +717,8 @@ def _event_stream(
         failures=failures,
         cancelled=token.cancelled() and not stopped,
         stopped=stopped,
-        elapsed_s=clock(),
+        elapsed_s=elapsed,
+        sweep_id=sweep_id,
     )
 
 
@@ -692,6 +734,7 @@ def _open_backend(
     token: CancelToken,
     on_failure: str,
     clock: Callable[[], float],
+    span: Optional[Dict[str, Any]] = None,
 ) -> Iterator[SweepEvent]:
     """The per-backend event generator for the deduplicated work list."""
     if executor == "distributed":
@@ -719,6 +762,7 @@ def _open_backend(
             cancel=token,
             on_failure=on_failure,
             clock=clock,
+            span=span,
         )
     pool_workers = workers if workers is not None else jobs
     if executor == "pool" and pool_workers > 1 and len(todo) > 1:

@@ -43,11 +43,41 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import telemetry
 from repro.distributed import store as _store
 from repro.distributed.leases import Lease, LeasePolicy
+from repro.telemetry.spans import span_detail
 
 #: Task states, in roughly the order of the lifecycle.
 TASK_STATES = ("pending", "leased", "done", "failed")
+
+# Broker-side instrumentation (see repro.telemetry): every queue mutation
+# bumps a process-wide metric, so the process owning the database — the
+# sweep service, or an inline driver — exposes live queue health.
+_ENQUEUED = telemetry.counter(
+    "chronos_tasks_enqueued_total", "Tasks newly enqueued (adds and failed-task resets)"
+)
+_CLAIMED = telemetry.counter(
+    "chronos_tasks_claimed_total", "Tasks claimed by workers (lease grants)"
+)
+_COMPLETED = telemetry.counter(
+    "chronos_tasks_completed_total", "Tasks completed with a stored result"
+)
+_TASK_FAILURES = telemetry.counter(
+    "chronos_tasks_failed_total", "Tasks marked permanently failed"
+)
+_RENEWALS = telemetry.counter(
+    "chronos_lease_renewals_total", "Successful heartbeat lease renewals"
+)
+_EXPIRIES = telemetry.counter(
+    "chronos_lease_expiries_total", "Leases swept after expiring (requeued or exhausted)"
+)
+_APPENDS = telemetry.counter(
+    "chronos_events_appended_total", "Rows appended to the broker event log"
+)
+_QUEUE_DEPTH = telemetry.gauge(
+    "chronos_queue_depth", "Task count by queue state", labelnames=("state",)
+)
 
 #: Event-log kinds, in roughly the order they occur for one task.
 EVENT_KINDS = ("queued", "started", "completed", "failed", "retried", "released")
@@ -129,12 +159,21 @@ class Broker:
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
-    def enqueue(self, payloads: Sequence[Dict[str, Any]], fingerprints: Sequence[str]) -> int:
+    def enqueue(
+        self,
+        payloads: Sequence[Dict[str, Any]],
+        fingerprints: Sequence[str],
+        span: Optional[Dict[str, Any]] = None,
+    ) -> int:
         """Add spec payloads to the queue, deduplicated by fingerprint.
 
         A fingerprint already ``pending``/``leased``/``done`` is left
         alone; a previously ``failed`` task is reset for a fresh round of
         attempts.  Returns how many tasks are newly runnable.
+
+        ``span`` is an optional JSON-able correlation context (e.g.
+        ``{"sweep_id": ...}``) stamped into the ``queued`` event rows, so
+        a trace can tie a task back to the sweep that enqueued it.
 
         Enqueueing also clears a previous :meth:`drain` request: new work
         means the queue is live again, so a fleet started afterwards does
@@ -156,7 +195,7 @@ class Broker:
                 )
                 if cursor.rowcount:
                     added += 1
-                    self._log_event("queued", fingerprint, now=now)
+                    self._log_event("queued", fingerprint, detail=span_detail(span), now=now)
                     continue
                 cursor = self._conn.execute(
                     "UPDATE tasks SET status = 'pending', attempts = 0, lease_owner = NULL, "
@@ -166,7 +205,14 @@ class Broker:
                 )
                 if cursor.rowcount:
                     added += cursor.rowcount
-                    self._log_event("queued", fingerprint, detail="failed task reset", now=now)
+                    self._log_event(
+                        "queued",
+                        fingerprint,
+                        detail=span_detail(span, note="failed task reset"),
+                        now=now,
+                    )
+        if added:
+            _ENQUEUED.inc(added)
         return added
 
     def drain(self) -> None:
@@ -241,6 +287,8 @@ class Broker:
                         ),
                     )
                 )
+        if tasks:
+            _CLAIMED.inc(len(tasks))
         return tasks
 
     def heartbeat(self, fingerprint: str, worker_id: str) -> bool:
@@ -253,6 +301,8 @@ class Broker:
                 (now + self._policy.timeout, now, fingerprint, worker_id),
             )
         self.touch_worker(worker_id)
+        if cursor.rowcount:
+            _RENEWALS.inc()
         return bool(cursor.rowcount)
 
     def complete(self, fingerprint: str, worker_id: str, result_payload: Dict[str, Any]) -> None:
@@ -282,6 +332,7 @@ class Broker:
                 (now, worker_id),
             )
             self._log_event("completed", fingerprint, worker_id=worker_id, now=now)
+        _COMPLETED.inc()
 
     def fail(self, fingerprint: str, worker_id: str, error: str) -> bool:
         """Mark a task permanently failed (the scenario itself errored).
@@ -308,6 +359,8 @@ class Broker:
                 self._log_event(
                     "failed", fingerprint, worker_id=worker_id, detail=str(error), now=now
                 )
+        if cursor.rowcount:
+            _TASK_FAILURES.inc()
         return bool(cursor.rowcount)
 
     def requeue_expired(
@@ -370,6 +423,8 @@ class Broker:
                 ),
                 now=now,
             )
+        if expired:
+            _EXPIRIES.inc(len(expired))
         return requeued, exhausted
 
     def release_worker(self, worker_id: str) -> Tuple[int, int]:
@@ -491,6 +546,7 @@ class Broker:
             "VALUES (?, ?, ?, ?, ?)",
             (time.time() if now is None else now, kind, fingerprint, worker_id, detail),
         )
+        _APPENDS.inc()
 
     def record_event(
         self,
@@ -587,6 +643,24 @@ class Broker:
         ).fetchall()
         return [{key: row[key] for key in row.keys()} for row in rows]
 
+    def events_for(self, fingerprint: str, limit: int = 1000) -> List[Dict[str, Any]]:
+        """Every retained event-log row about one fingerprint, oldest first.
+
+        The per-scenario trace: ``queued`` (carrying the enqueuing
+        sweep's span context in ``detail``) → ``started`` (which worker
+        claimed it) → ``completed``/``failed``/``retried``.  Served over
+        HTTP by the RPC of the same name; rendered by
+        ``chronos-experiments trace <fingerprint>``.
+        """
+        if limit < 1:
+            raise ValueError("event limit must be a positive integer")
+        rows = self._conn.execute(
+            "SELECT seq, ts, kind, fingerprint, worker_id, detail FROM events "
+            "WHERE fingerprint = ? ORDER BY seq LIMIT ?",
+            (fingerprint, int(limit)),
+        ).fetchall()
+        return [{key: row[key] for key in row.keys()} for row in rows]
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -598,6 +672,8 @@ class Broker:
         counts = {state: 0 for state in TASK_STATES}
         for row in rows:
             counts[row["status"]] = int(row["n"])
+        for state, count in counts.items():
+            _QUEUE_DEPTH.labels(state=state).set(count)
         return counts
 
     def settled(self) -> bool:
@@ -673,13 +749,45 @@ class Broker:
             for row in rows
         ]
 
+    def telemetry_summary(self, window_s: float = 300.0) -> Dict[str, Any]:
+        """Recent queue activity computed from the event log's timestamps.
+
+        Unlike the process-local counters in :mod:`repro.telemetry`, this
+        reads the shared database, so ``workers status`` shows the same
+        numbers whether it opens the sqlite file or asks the service —
+        and whichever process did the claiming.  ``window_s`` bounds the
+        look-back; rates are per second over that window.
+        """
+        since = time.time() - window_s
+        rows = self._conn.execute(
+            "SELECT kind, COUNT(*) AS n FROM events WHERE ts >= ? GROUP BY kind",
+            (since,),
+        ).fetchall()
+        by_kind = {row["kind"]: int(row["n"]) for row in rows}
+        expiries = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM events WHERE ts >= ? AND detail LIKE 'lease expired%'",
+            (since,),
+        ).fetchone()
+        appended = sum(by_kind.values())
+        claims = by_kind.get("started", 0)
+        return {
+            "window_s": window_s,
+            "claims": claims,
+            "claim_rate_per_s": claims / window_s,
+            "lease_expiries": int(expiries["n"]),
+            "events_appended": appended,
+            "event_append_rate_per_s": appended / window_s,
+        }
+
     def stats(self) -> Dict[str, Any]:
         """One status dict: task counts, leases, workers, results, drain flag.
 
         ``events`` is the newest log sequence; ``events_retained`` is how
         many rows the log actually holds (pruning keeps it bounded) and
         ``events_first`` the oldest retained sequence — together they
-        surface the retained span in ``workers status``.
+        surface the retained span in ``workers status``.  ``telemetry``
+        summarizes recent activity (claim rate, lease expiries, event
+        appends) from the log's timestamps.
         """
         results = self._conn.execute("SELECT COUNT(*) AS n FROM results").fetchone()
         span = self._conn.execute(
@@ -695,4 +803,5 @@ class Broker:
             "events": self.last_event_seq(),
             "events_retained": int(span["n"]),
             "events_first": int(span["first"]) if span["first"] is not None else None,
+            "telemetry": self.telemetry_summary(),
         }

@@ -38,7 +38,7 @@ import tempfile
 import time
 import warnings
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.api.events import (
     ScenarioCacheHit,
@@ -89,6 +89,7 @@ def execute_stream(
     cancel=None,
     on_failure: str = "raise",
     clock: Optional[Callable[[], float]] = None,
+    span: Optional[Dict[str, Any]] = None,
 ) -> Iterator[SweepEvent]:
     """Run ``(fingerprint, spec, index)`` triples across a worker fleet.
 
@@ -157,6 +158,7 @@ def execute_stream(
         cancel=cancel,
         on_failure=on_failure,
         clock=clock,
+        span=span,
     )
 
 
@@ -171,6 +173,7 @@ def _stream(
     cancel,
     on_failure: str,
     clock: Callable[[], float],
+    span: Optional[Dict[str, Any]] = None,
 ) -> Iterator[SweepEvent]:
     """The generator behind :func:`execute_stream` (inputs validated)."""
 
@@ -217,6 +220,7 @@ def _stream(
         broker_client.enqueue(
             [spec.to_dict() for _, spec, _ in pending],
             [fingerprint for fingerprint, _, _ in pending],
+            span=span,
         )
         position_of.update({fingerprint: index for fingerprint, _, index in pending})
 

@@ -34,9 +34,21 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro import telemetry
 from repro.api.facade import execute, spec_from_dict
 from repro.distributed.broker import Task
 from repro.distributed.leases import LeaseKeeper, LeasePolicy
+
+# Worker-loop instrumentation: per-process totals and the latency of the
+# claim round trip (the queue's contention signal under batch claims).
+_WORKER_TASKS = telemetry.counter(
+    "chronos_worker_tasks_total",
+    "Tasks a worker loop finished, by outcome",
+    labelnames=("outcome",),
+)
+_CLAIM_LATENCY = telemetry.histogram(
+    "chronos_claim_batch_seconds", "Wall-clock of one claim_many round trip"
+)
 
 
 def make_worker_id(prefix: str = "worker") -> str:
@@ -162,7 +174,8 @@ class Worker:
                 if not registered:
                     self._broker.register_worker(self.worker_id)
                     registered = True
-                tasks = self._broker.claim_many(self.worker_id, limit)
+                with _CLAIM_LATENCY.time():
+                    tasks = self._broker.claim_many(self.worker_id, limit)
                 if not tasks:
                     if self._broker.is_draining() or (
                         self.config.exit_when_idle and self._broker.settled()
@@ -231,6 +244,7 @@ class Worker:
                             task.fingerprint, self.worker_id, f"{type(error).__name__}: {error}"
                         )
                         outstanding.discard(task.fingerprint)
+                        _WORKER_TASKS.labels(outcome="failed").inc()
                         continue
                     # Execution is deterministic, so the result is committed
                     # even if the lease was lost mid-run (the upsert is
@@ -239,6 +253,7 @@ class Worker:
                     self._broker.complete(task.fingerprint, self.worker_id, result.to_dict())
                     outstanding.discard(task.fingerprint)
                     self.tasks_done += 1
+                    _WORKER_TASKS.labels(outcome="executed").inc()
         finally:
             keeper.stop()
 

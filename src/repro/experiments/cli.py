@@ -22,6 +22,8 @@ Installed as ``chronos-experiments``.  Examples::
     chronos-experiments sweep --spec sweep.json --broker https://host:8176 \
         --token SECRET --cafile cert.pem
     chronos-experiments workers status --broker https://host:8176 --expiring
+    chronos-experiments metrics --broker https://host:8176 --token SECRET
+    chronos-experiments trace 1a2b3c4d5e6f --db queue.sqlite
     chronos-experiments sweep --spec sweep.json --jobs 4 --progress
     chronos-experiments export --db queue.sqlite --columns fingerprint,pocd,utility
     chronos-experiments search --spec search.json --algorithm frontier_bisect \
@@ -184,7 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
             "'sweep' to run a scenario sweep from --spec, "
             "'search' to run an adaptive ask/tell search from --spec, "
             "'workers start|status|drain' to manage distributed sweep workers, "
-            "'serve' to run the HTTP broker front-end, or "
+            "'serve' to run the HTTP broker front-end, "
+            "'metrics' to scrape a sweep service's telemetry registry, "
+            "'trace FINGERPRINT' to reconstruct one scenario's event trail "
+            "from a queue (--db) or service (--broker), or "
             "'export' to dump a queue's result store as CSV"
         ),
     )
@@ -428,6 +433,21 @@ def build_parser() -> argparse.ArgumentParser:
             "served from the store's columnar summaries table via SQL column select "
             "instead of parsing result JSON"
         ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "make 'metrics' emit the registry's JSON snapshot (via RPC) instead "
+            "of the Prometheus text exposition"
+        ),
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="maximum event-log rows the 'trace' command fetches (default: 1000)",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     return parser
@@ -1057,6 +1077,107 @@ def run_workers_command(args: argparse.Namespace) -> int:
         broker.close()
 
 
+def run_metrics_command(args: argparse.Namespace) -> int:
+    """Handle ``chronos-experiments metrics --broker URL [--json]``.
+
+    Fetches the *server's* telemetry registry — Prometheus text from
+    ``GET /metrics`` by default, or the JSON snapshot over RPC with
+    ``--json``.  Credentials resolve like every other client command
+    (``--token``/``--cafile`` or the ``CHRONOS_*`` environment).
+    """
+    from repro.service import HttpBroker, ServiceAuthError, ServiceError, fetch_metrics
+
+    if not args.broker:
+        print(
+            "metrics requires --broker URL (a running 'chronos-experiments serve' service)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.json:
+            broker = HttpBroker(args.broker)
+            try:
+                print(json.dumps(broker.metrics(), indent=2, sort_keys=True))
+            finally:
+                broker.close()
+        else:
+            sys.stdout.write(fetch_metrics(args.broker))
+    except ServiceAuthError as error:
+        print(f"sweep service authentication failed: {error}", file=sys.stderr)
+        return 2
+    except ServiceError as error:
+        print(f"sweep service error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def run_trace_command(args: argparse.Namespace) -> int:
+    """Handle ``chronos-experiments trace FINGERPRINT --db FILE | --broker URL``.
+
+    Reconstructs one scenario's life from the queue's event log: queued
+    (with the enqueuing sweep's span context), claimed by which worker,
+    retried why, completed or failed — with relative timestamps.
+    """
+    from repro.distributed import open_broker
+    from repro.service import ServiceAuthError, ServiceError
+
+    fingerprint = args.experiments[1] if len(args.experiments) > 1 else None
+    if not fingerprint:
+        print(
+            "trace requires a fingerprint "
+            "(e.g. 'chronos-experiments trace <fingerprint> --db queue.sqlite')",
+            file=sys.stderr,
+        )
+        return 2
+    target = args.broker or args.db
+    if not target:
+        print(
+            "trace requires --db FILE (queue database) or --broker URL (sweep service)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        broker = open_broker(target)
+        try:
+            rows = broker.events_for(fingerprint, limit=max(1, args.limit))
+        finally:
+            broker.close()
+    except ServiceAuthError as error:
+        print(f"sweep service authentication failed: {error}", file=sys.stderr)
+        return 2
+    except ServiceError as error:
+        print(f"sweep service error: {error}", file=sys.stderr)
+        return 2
+    print(format_trace(fingerprint, rows))
+    return 0 if rows else 1
+
+
+def format_trace(fingerprint: str, rows: Sequence[Dict[str, object]]) -> str:
+    """Render one fingerprint's event-log rows as a readable trace."""
+    from repro.telemetry import parse_span_detail
+
+    if not rows:
+        return f"no events recorded for {fingerprint}"
+    origin = float(rows[0]["ts"])
+    lines = [f"trace {fingerprint} ({len(rows)} event(s))"]
+    for row in rows:
+        parts = [f"  +{float(row['ts']) - origin:8.3f}s  {str(row['kind']):<10}"]
+        if row.get("worker_id"):
+            parts.append(f"worker={row['worker_id']}")
+        span = parse_span_detail(row.get("detail"))
+        if span:
+            if span.get("sweep_id"):
+                parts.append(f"sweep={span['sweep_id']}")
+            if span.get("trial_id"):
+                parts.append(f"trial={span['trial_id']}")
+            if span.get("note"):
+                parts.append(str(span["note"]))
+        elif row.get("detail"):
+            parts.append(str(row["detail"]))
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
 def format_worker_status(stats: Dict[str, object]) -> str:
     """Render :meth:`repro.distributed.Broker.stats` as readable text."""
     tasks = stats["tasks"]
@@ -1092,6 +1213,21 @@ def format_worker_status(stats: Dict[str, object]) -> str:
                 f"attempt={item['attempts']}/{item['max_attempts']}  "
                 f"expires_in={item['expires_in_s']:.1f}s"
             )
+    telemetry = stats.get("telemetry")
+    if telemetry:
+        # Recent activity from the shared event log (same numbers via
+        # --db or --broker): claim/append rates and lease health.
+        lines.append(
+            "telemetry ({:.0f}s window): claims={} ({:.2f}/s)  "
+            "lease_expiries={}  events={} ({:.2f}/s)".format(
+                float(telemetry.get("window_s", 0.0)),
+                telemetry.get("claims", 0),
+                float(telemetry.get("claim_rate_per_s", 0.0)),
+                telemetry.get("lease_expiries", 0),
+                telemetry.get("events_appended", 0),
+                float(telemetry.get("event_append_rate_per_s", 0.0)),
+            )
+        )
     workers = stats["workers"]
     if workers:
         lines.append("workers:")
@@ -1191,6 +1327,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return run_workers_command(args)
         if args.experiments and args.experiments[0] == "serve":
             return run_serve_command(args)
+        if args.experiments and args.experiments[0] == "metrics":
+            return run_metrics_command(args)
+        if args.experiments and args.experiments[0] == "trace":
+            return run_trace_command(args)
         if args.experiments and args.experiments[0] == "export":
             return run_export_command(args)
         if args.experiments and args.experiments[0] == "multijob":

@@ -40,9 +40,11 @@ payloads are byte-identical whether a sweep ran inline, on one machine,
 or across a fleet of hosts.
 """
 
-from repro.service.client import HttpBroker, HttpResultStore, rpc_call
+from repro.service.client import HttpBroker, HttpResultStore, fetch_metrics, rpc_call
 from repro.service.protocol import (
     HEALTH_PATH,
+    METRICS_CONTENT_TYPE,
+    METRICS_PATH,
     PROTOCOL_VERSION,
     RPC_PATH,
     STATUS_PATH,
@@ -79,12 +81,15 @@ __all__ = [
     "HttpBroker",
     "HttpResultStore",
     "rpc_call",
+    "fetch_metrics",
     # protocol
     "ServiceError",
     "ServiceAuthError",
     "RPC_PATH",
     "HEALTH_PATH",
     "STATUS_PATH",
+    "METRICS_PATH",
+    "METRICS_CONTENT_TYPE",
     "PROTOCOL_VERSION",
     # security
     "Credentials",

@@ -38,6 +38,7 @@ from repro.api.facade import ScenarioResult, result_from_dict
 from repro.distributed.broker import Task, TaskRecord
 from repro.distributed.leases import LeasePolicy
 from repro.service.protocol import (
+    METRICS_PATH,
     RPC_PATH,
     ServiceAuthError,
     ServiceError,
@@ -103,6 +104,41 @@ def rpc_call(
     return body["result"]
 
 
+def fetch_metrics(
+    url: str,
+    timeout: float = RPC_TIMEOUT_S,
+    token: Optional[str] = None,
+    cafile: Optional[str] = None,
+    verify: Optional[bool] = None,
+) -> str:
+    """``GET /metrics`` — the server's registry as Prometheus text.
+
+    Credentials resolve exactly like the RPC clients' (explicit kwargs,
+    then the ``CHRONOS_*`` environment), so ``chronos-experiments
+    metrics --broker https://…`` works wherever ``workers status`` does.
+    """
+    credentials = Credentials.resolve(token=token, cafile=cafile, verify=verify)
+    context = client_ssl_context(url, cafile=credentials.cafile, verify=credentials.verify)
+    headers: Dict[str, str] = {}
+    if credentials.token:
+        headers["Authorization"] = f"Bearer {credentials.token}"
+    request = urllib.request.Request(
+        url.rstrip("/") + METRICS_PATH, headers=headers, method="GET"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout, context=context) as response:
+            return response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        if error.code in (401, 403):
+            raise ServiceAuthError(
+                f"metrics failed: HTTP {error.code} (missing or rejected bearer token — "
+                "pass --token or set CHRONOS_TOKEN)"
+            ) from error
+        raise ServiceError(f"metrics failed: HTTP {error.code}") from error
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        raise ServiceError(f"cannot reach sweep service at {url}: {error}") from error
+
+
 class HttpBroker:
     """The :class:`~repro.distributed.Broker` interface over HTTP.
 
@@ -160,11 +196,21 @@ class HttpBroker:
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
-    def enqueue(self, payloads: Sequence[Dict[str, Any]], fingerprints: Sequence[str]) -> int:
+    def enqueue(
+        self,
+        payloads: Sequence[Dict[str, Any]],
+        fingerprints: Sequence[str],
+        span: Optional[Dict[str, Any]] = None,
+    ) -> int:
         if len(payloads) != len(fingerprints):
             raise ValueError("payloads and fingerprints must have equal length")
         return int(
-            self._call("enqueue", payloads=list(payloads), fingerprints=list(fingerprints))
+            self._call(
+                "enqueue",
+                payloads=list(payloads),
+                fingerprints=list(fingerprints),
+                span=None if span is None else dict(span),
+            )
         )
 
     def drain(self) -> None:
@@ -264,6 +310,18 @@ class HttpBroker:
         stats["url"] = self._url  # where the answer came from, for status output
         return stats
 
+    def telemetry_summary(self, window_s: float = 300.0) -> Dict[str, Any]:
+        """Recent queue activity, computed server-side from the event log."""
+        return dict(self._call("telemetry_summary", window_s=float(window_s)))
+
+    def metrics(self) -> Dict[str, Any]:
+        """JSON snapshot of the *server's* telemetry registry.
+
+        The same data ``GET /metrics`` renders as Prometheus text; this
+        form is for programmatic consumers (the ``metrics --json`` CLI).
+        """
+        return dict(self._call("metrics"))
+
     # ------------------------------------------------------------------
     # Event log
     # ------------------------------------------------------------------
@@ -298,6 +356,13 @@ class HttpBroker:
                 detail=detail,
             )
         )
+
+    def events_for(self, fingerprint: str, limit: int = 1000) -> List[Dict[str, Any]]:
+        """Every retained event-log row about one fingerprint, oldest first."""
+        return [
+            dict(row)
+            for row in self._call("events_for", fingerprint=str(fingerprint), limit=int(limit))
+        ]
 
     def done_watermark(self) -> int:
         return int(self._call("done_watermark"))

@@ -8,6 +8,10 @@ The service speaks a deliberately small JSON-over-HTTP dialect:
 - ``GET /healthz`` answers liveness (used by CI and load balancers).
 - ``GET /status`` answers the broker's :meth:`~repro.distributed.Broker.
   stats` dict (handy for ``curl``; the CLI goes through RPC).
+- ``GET /metrics`` answers the process-wide telemetry registry in the
+  Prometheus text exposition format.  Like ``/status`` it sits behind
+  the bearer token when one is configured; scrapers pass
+  ``Authorization: Bearer <token>``.
 
 Everything on the wire is JSON-native: :class:`~repro.distributed.Task`,
 :class:`~repro.distributed.TaskRecord` and
@@ -31,10 +35,14 @@ from typing import Any, Dict, Mapping, Optional
 from repro.distributed.broker import Task, TaskRecord
 from repro.distributed.leases import Lease, LeasePolicy
 
-#: URL paths of the three endpoints.
+#: URL paths of the four endpoints.
 RPC_PATH = "/rpc"
 HEALTH_PATH = "/healthz"
 STATUS_PATH = "/status"
+METRICS_PATH = "/metrics"
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Protocol revision, reported by ``/healthz`` (bump on breaking change).
 PROTOCOL_VERSION = 1

@@ -16,8 +16,8 @@ threads only exist to overlap network I/O, and batch claims
 (``claim_many``) amortize the round trip for short scenarios.
 
 The transport hardens on demand: ``token=`` requires ``Authorization:
-Bearer …`` on every RPC and status request (compared in constant time;
-``/healthz`` stays open for load balancers), and ``certfile=``/
+Bearer …`` on every RPC, ``/status`` and ``/metrics`` request (compared
+in constant time; ``/healthz`` stays open for load balancers), and ``certfile=``/
 ``keyfile=`` wrap the listening socket in an :class:`ssl.SSLContext` so
 the queue can cross untrusted networks — see
 :mod:`repro.service.security`.
@@ -38,11 +38,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from repro import telemetry
 from repro.distributed.broker import Broker
 from repro.distributed.leases import LeasePolicy
 from repro.distributed.store import SqliteResultStore, normalize_db_path
 from repro.service.protocol import (
     HEALTH_PATH,
+    METRICS_CONTENT_TYPE,
+    METRICS_PATH,
     PROTOCOL_VERSION,
     RPC_PATH,
     STATUS_PATH,
@@ -109,7 +112,12 @@ class BrokerService:
             "workers": broker.workers,
             "leased": broker.leased,
             "stats": broker.stats,
+            "telemetry_summary": lambda window_s=300.0: broker.telemetry_summary(
+                float(window_s)
+            ),
             "policy": lambda: policy_to_wire(self._policy),
+            # telemetry (JSON snapshot of the same registry /metrics renders)
+            "metrics": telemetry.REGISTRY.snapshot,
             # event log (live sweep progress over the wire)
             "events_since": lambda seq=0, limit=500: broker.events_since(
                 int(seq), int(limit)
@@ -119,6 +127,9 @@ class BrokerService:
                 broker.record_event(
                     str(kind), fingerprint=fingerprint, worker_id=worker_id, detail=detail
                 )
+            ),
+            "events_for": lambda fingerprint, limit=1000: broker.events_for(
+                str(fingerprint), int(limit)
             ),
             "done_watermark": broker.done_watermark,
             "prune_events": lambda before_seq=None: broker.prune_events(
@@ -288,6 +299,28 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, self.server.service.call("stats"))
             except Exception as error:
                 self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+        elif self.path == METRICS_PATH:
+            # Same trust boundary as /status: queue depths, failure counts
+            # and worker throughput are operational intelligence.
+            if not self._authorized():
+                self._reject_unauthorized()
+                return
+            try:
+                # Refresh the queue-depth gauges so a scrape sees current
+                # depths even when no CLI has asked for counts recently.
+                self.server.service.call("counts")
+                body = telemetry.REGISTRY.render().encode("utf-8")
+            except Exception as error:
+                self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+                return
+            try:
+                self.send_response(200)
+                self.send_header("Content-Type", METRICS_CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                pass
         else:
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
 
@@ -321,8 +354,8 @@ def make_server(
     ``server.server_address[1]``.  Call ``serve_forever()`` to run and
     ``shutdown()`` + ``server_close()`` to stop.
 
-    ``token`` requires ``Authorization: Bearer <token>`` on every RPC
-    and ``/status`` request (``/healthz`` stays open); ``certfile`` (with
+    ``token`` requires ``Authorization: Bearer <token>`` on every RPC,
+    ``/status`` and ``/metrics`` request (``/healthz`` stays open); ``certfile`` (with
     an optional separate ``keyfile``) wraps the listening socket in TLS,
     making the service an ``https://`` target.  Bad cert material fails
     here, at startup, not at the first client handshake.

@@ -13,9 +13,11 @@ parameters without hidden coupling.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, Optional, Protocol, Sequence, runtime_checkable
 
+from repro import telemetry
 from repro.core.model import StrategyName
 from repro.hadoop.app_master import ApplicationMaster
 from repro.hadoop.config import HadoopConfig
@@ -23,7 +25,7 @@ from repro.hadoop.node_manager import NodeManager
 from repro.hadoop.resource_manager import ResourceManager
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.engine import SimulationEngine
-from repro.simulator.entities import Job, JobSpec
+from repro.simulator.entities import AttemptStatus, Job, JobSpec
 from repro.simulator.metrics import MetricsCollector, SimulationReport
 from repro.simulator.progress import (
     CompletionTimeEstimator,
@@ -35,6 +37,25 @@ from repro.simulator.progress import (
 if TYPE_CHECKING:  # pragma: no cover - imports for type checking only
     from repro.simulator.entities import Attempt, Task
     from repro.strategies.base import StrategyParameters
+    from repro.telemetry import Profiler
+
+
+# Per-run engine totals, flushed once after the event loop (never from
+# inside it — the per-event path stays uninstrumented by design).
+_ENGINE_EVENTS = telemetry.counter(
+    "chronos_engine_events_total", "Discrete events processed by simulation engines"
+)
+_ENGINE_HEAP = telemetry.gauge(
+    "chronos_engine_heap_size", "Events left on the heap when the last run stopped"
+)
+_SPEC_LAUNCHED = telemetry.counter(
+    "chronos_speculative_copies_launched_total",
+    "Speculative attempts (non-original copies) launched",
+)
+_SPEC_KILLED = telemetry.counter(
+    "chronos_speculative_copies_killed_total",
+    "Speculative attempts killed before completing",
+)
 
 
 @runtime_checkable
@@ -71,15 +92,30 @@ class SpeculationStrategyProtocol(Protocol):
 #: Deprecated alias kept for backwards compatibility; use the Protocol.
 SpeculationStrategyLike = SpeculationStrategyProtocol
 
+_NULL_CONTEXT = nullcontext()
+
+
+def _null_phase(name: str):
+    """The disabled-profiler phase: one reusable no-op context manager."""
+    return _NULL_CONTEXT
+
 
 @dataclass(frozen=True)
 class RunnerConfig:
-    """Configuration of a simulation run."""
+    """Configuration of a simulation run.
+
+    ``profiler`` is an optional :class:`repro.telemetry.Profiler` that
+    receives coarse per-phase timings (build/simulate/report).  It is
+    excluded from comparison and repr on purpose: attaching one must not
+    change a config's identity (scenario fingerprints never include the
+    runner config, and that stays true).
+    """
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     hadoop: HadoopConfig = field(default_factory=HadoopConfig)
     seed: int = 0
     max_events: Optional[int] = None
+    profiler: Optional["Profiler"] = field(default=None, compare=False, repr=False)
 
 
 class SimulationRunner:
@@ -91,12 +127,14 @@ class SimulationRunner:
         hadoop: Optional[HadoopConfig] = None,
         seed: int = 0,
         max_events: Optional[int] = None,
+        profiler: Optional["Profiler"] = None,
     ):
         self._config = RunnerConfig(
             cluster=cluster if cluster is not None else ClusterConfig(),
             hadoop=hadoop if hadoop is not None else HadoopConfig(),
             seed=seed,
             max_events=max_events,
+            profiler=profiler,
         )
 
     @property
@@ -129,38 +167,67 @@ class SimulationRunner:
             raise ValueError("at least one job is required")
         estimator = estimator if estimator is not None else default_estimator_for(strategy.name)
 
-        engine = SimulationEngine(seed=self._config.seed)
-        cluster = Cluster(self._config.cluster)
-        resource_manager = ResourceManager(engine, cluster, self._config.hadoop)
-        node_manager = NodeManager(engine, resource_manager, self._config.hadoop)
-        metrics = MetricsCollector(strategy.name)
+        # Coarse-phase profiling: three `with` blocks per run when a
+        # profiler is attached, a reused no-op context when not — the
+        # per-event hot loop inside engine.run is never touched.
+        profiler = self._config.profiler
+        phase = _null_phase if profiler is None else profiler.phase
 
-        masters = []
-        for spec in specs:
-            job = Job(spec=spec)
-            master = ApplicationMaster(
-                engine=engine,
-                job=job,
-                strategy=strategy,
-                resource_manager=resource_manager,
-                node_manager=node_manager,
-                config=self._config.hadoop,
-                metrics=metrics,
-                estimator=estimator,
-            )
-            masters.append(master)
-            engine.schedule_at(spec.submit_time, master.start)
+        with phase("build"):
+            engine = SimulationEngine(seed=self._config.seed)
+            cluster = Cluster(self._config.cluster)
+            resource_manager = ResourceManager(engine, cluster, self._config.hadoop)
+            node_manager = NodeManager(engine, resource_manager, self._config.hadoop)
+            metrics = MetricsCollector(strategy.name)
 
-        engine.run(max_events=self._config.max_events)
+            masters = []
+            for spec in specs:
+                job = Job(spec=spec)
+                master = ApplicationMaster(
+                    engine=engine,
+                    job=job,
+                    strategy=strategy,
+                    resource_manager=resource_manager,
+                    node_manager=node_manager,
+                    config=self._config.hadoop,
+                    metrics=metrics,
+                    estimator=estimator,
+                )
+                masters.append(master)
+                engine.schedule_at(spec.submit_time, master.start)
 
-        # Safety net: record any job that never finished (should not happen
-        # because every attempt eventually completes, but a max_events cap
-        # can truncate the run).
+        with phase("simulate"):
+            engine.run(max_events=self._config.max_events)
+
+        with phase("report"):
+            # Safety net: record any job that never finished (should not
+            # happen because every attempt eventually completes, but a
+            # max_events cap can truncate the run).
+            for master in masters:
+                if not master.finished:
+                    metrics.record_job(master.job, engine.now)
+            report = metrics.build_report()
+
+        self._flush_engine_metrics(engine, masters)
+        return report
+
+    @staticmethod
+    def _flush_engine_metrics(engine: SimulationEngine, masters: Sequence[object]) -> None:
+        """Fold one run's engine totals into the process-wide registry."""
+        _ENGINE_EVENTS.inc(engine.processed_events)
+        _ENGINE_HEAP.set(engine.pending_events)
+        launched = killed = 0
         for master in masters:
-            if not master.finished:
-                metrics.record_job(master.job, engine.now)
-
-        return metrics.build_report()
+            for task in master.job.tasks:
+                for attempt in task.attempts:
+                    if not attempt.is_original:
+                        launched += 1
+                        if attempt.status is AttemptStatus.KILLED:
+                            killed += 1
+        if launched:
+            _SPEC_LAUNCHED.inc(launched)
+        if killed:
+            _SPEC_KILLED.inc(killed)
 
     def run_strategies(
         self,

@@ -1,0 +1,140 @@
+"""Coarse-phase wall-clock profiler for the simulation stack.
+
+A :class:`Profiler` accumulates ``(calls, seconds)`` per named phase.
+The simulator runner wraps its three coarse phases (``build`` the
+engine/cluster/masters, ``simulate`` the event loop, ``report`` the
+metric aggregation) in :meth:`Profiler.phase` blocks — but only when a
+profiler is attached, so the disabled path costs one ``is None`` check
+per run (the bench gate's "instrumentation overhead ≤ noise" criterion).
+
+Activation is either programmatic::
+
+    from repro.telemetry import enable_profiling, active_profiler
+    profiler = enable_profiling()
+    run(spec)                       # facade attaches the active profiler
+    print(profiler.to_dict())
+
+or environmental: ``CHRONOS_PROFILE=1`` enables profiling at import
+time, and ``CHRONOS_PROFILE=/path/profile.json`` additionally dumps the
+accumulated phases as JSON at interpreter exit (one file per process —
+worker subprocesses inherit the variable and would overwrite each
+other, so point the variable at a single-process run).
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+from time import perf_counter
+from typing import Any, Dict, Optional
+
+#: Environment variable that switches profiling on process-wide.
+PROFILE_ENV = "CHRONOS_PROFILE"
+
+_FALSEY = ("", "0", "false", "no", "off")
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class _Phase:
+    """Context manager adding a block's wall-clock to one phase bucket."""
+
+    __slots__ = ("_profiler", "_name", "_started")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._profiler.record(self._name, perf_counter() - self._started)
+
+
+class Profiler:
+    """Thread-safe accumulator of per-phase call counts and seconds."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._phases: Dict[str, Dict[str, float]] = {}
+
+    def phase(self, name: str) -> _Phase:
+        """``with profiler.phase("simulate"): ...`` times the block."""
+        return _Phase(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add one timed call to a phase bucket."""
+        with self._lock:
+            bucket = self._phases.get(name)
+            if bucket is None:
+                bucket = {"calls": 0, "seconds": 0.0}
+                self._phases[name] = bucket
+            bucket["calls"] += 1
+            bucket["seconds"] += seconds
+
+    def reset(self) -> None:
+        with self._lock:
+            self._phases.clear()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native snapshot: ``{"phases": {name: {calls, seconds}}}``."""
+        with self._lock:
+            phases = {
+                name: {"calls": int(bucket["calls"]), "seconds": bucket["seconds"]}
+                for name, bucket in sorted(self._phases.items())
+            }
+        return {"phases": phases}
+
+
+_active: Optional[Profiler] = None
+
+
+def active_profiler() -> Optional[Profiler]:
+    """The process-wide profiler, or ``None`` when profiling is off.
+
+    This is the one call sitting on the hot path (once per
+    ``run(spec)``); it is a plain module-global read.
+    """
+    return _active
+
+
+def enable_profiling(profiler: Optional[Profiler] = None) -> Profiler:
+    """Install (or replace) the process-wide profiler and return it."""
+    global _active
+    _active = profiler if profiler is not None else Profiler()
+    return _active
+
+
+def disable_profiling() -> None:
+    """Detach the process-wide profiler; subsequent runs pay nothing."""
+    global _active
+    _active = None
+
+
+def _dump_profile(path: str) -> None:
+    """Write the active profiler's phases as JSON (atexit hook)."""
+    profiler = _active
+    if profiler is None:
+        return
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(profiler.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError:
+        pass  # a broken dump path must not turn process exit into a crash
+
+
+def _activate_from_environment() -> None:
+    value = os.environ.get(PROFILE_ENV, "").strip()
+    if value.lower() in _FALSEY:
+        return
+    enable_profiling()
+    if value.lower() not in _TRUTHY:  # anything else is an output path
+        atexit.register(_dump_profile, value)
+
+
+_activate_from_environment()

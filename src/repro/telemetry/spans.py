@@ -1,0 +1,60 @@
+"""Span-context helpers: correlation ids for cross-host traces.
+
+A *span id* is a short random identifier minted once per logical unit of
+work — one per sweep (``sweep_id``), reusing the adaptive layer's
+content-addressed ``trial_id`` for trials — and stamped onto every
+:class:`~repro.api.events.SweepEvent` the unit emits plus the broker
+event-log rows it enqueues.  Together with the scenario ``fingerprint``
+(already on every event and task row) that makes a scenario's life —
+queued → claimed → executed → stored — reconstructible across hosts:
+``chronos-experiments trace <fingerprint>`` joins the rows back up.
+
+Ids are random (uuid4), not content-addressed: two runs of the same
+sweep spec are different traces even though their scenario fingerprints
+collide by design.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from typing import Any, Dict, Optional
+
+
+def new_span_id(prefix: str = "") -> str:
+    """A fresh 12-hex-digit correlation id, optionally prefixed."""
+    suffix = uuid.uuid4().hex[:12]
+    return f"{prefix}-{suffix}" if prefix else suffix
+
+
+def new_sweep_id() -> str:
+    """Mint the correlation id for one sweep run."""
+    return new_span_id("sweep")
+
+
+def span_detail(span: Optional[Dict[str, Any]], note: Optional[str] = None) -> Optional[str]:
+    """Serialize a span context (plus an optional note) for an event row.
+
+    The broker's ``events.detail`` column is free text; span-carrying
+    rows store a JSON object so :func:`parse_span_detail` — and any
+    ``jq``-wielding operator — can get the ids back out.  Returns the
+    plain note (or ``None``) when there is no span, preserving the
+    pre-telemetry row format.
+    """
+    if not span:
+        return note
+    payload = dict(span)
+    if note:
+        payload["note"] = note
+    return json.dumps(payload, sort_keys=True)
+
+
+def parse_span_detail(detail: Optional[str]) -> Dict[str, Any]:
+    """Best-effort inverse of :func:`span_detail` (``{}`` for plain text)."""
+    if not detail or not detail.startswith("{"):
+        return {}
+    try:
+        payload = json.loads(detail)
+    except ValueError:
+        return {}
+    return payload if isinstance(payload, dict) else {}

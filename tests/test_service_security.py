@@ -35,6 +35,7 @@ from repro.distributed import (
 from repro.experiments import cli
 from repro.service import (
     CAFILE_ENV,
+    METRICS_CONTENT_TYPE,
     TOKEN_ENV,
     VERIFY_ENV,
     Credentials,
@@ -42,6 +43,7 @@ from repro.service import (
     HttpResultStore,
     ServiceAuthError,
     ServiceError,
+    fetch_metrics,
     make_server,
     rpc_call,
     token_matches,
@@ -252,6 +254,74 @@ class TestTokenGuardedService:
         worker.close()
         # the transient path would have slept through ~8 backoff rounds
         assert time.monotonic() - started < 1.5
+
+
+class TestMetricsEndpoint:
+    """``GET /metrics`` sits behind the same trust boundary as ``/status``."""
+
+    def test_metrics_requires_token(self, secured):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(secured + "/metrics", timeout=5.0)
+        assert caught.value.code == 401
+        assert caught.value.headers.get("WWW-Authenticate", "").startswith("Bearer")
+
+    def test_wrong_token_is_auth_error(self, secured):
+        with pytest.raises(ServiceAuthError, match="HTTP 401"):
+            fetch_metrics(secured, token="not-the-token")
+
+    def test_metrics_serves_prometheus_text(self, secured):
+        request = urllib.request.Request(
+            secured + "/metrics", headers={"Authorization": f"Bearer {TOKEN}"}
+        )
+        with urllib.request.urlopen(request, timeout=5.0) as response:
+            assert response.status == 200
+            assert response.headers.get("Content-Type") == METRICS_CONTENT_TYPE
+            body = response.read().decode("utf-8")
+        assert "# HELP chronos_tasks_claimed_total" in body
+        assert "# TYPE chronos_tasks_claimed_total counter" in body
+        # A scrape refreshes the queue-depth gauges from the live broker.
+        assert 'chronos_queue_depth{state="pending"}' in body
+
+    def test_metric_names_and_labels_are_stable(self, secured):
+        """The exposition's metric names are an interface: dashboards and
+        CI greps depend on them, so renames must be deliberate."""
+        body = fetch_metrics(secured, token=TOKEN)
+        expected = [
+            "chronos_tasks_enqueued_total",
+            "chronos_tasks_claimed_total",
+            "chronos_tasks_completed_total",
+            "chronos_tasks_failed_total",
+            "chronos_lease_renewals_total",
+            "chronos_lease_expiries_total",
+            "chronos_events_appended_total",
+            "chronos_queue_depth",
+            "chronos_scenario_wall_seconds",
+            "chronos_sweep_scenarios_total",
+            "chronos_engine_events_total",
+            "chronos_speculative_copies_launched_total",
+        ]
+        for name in expected:
+            assert f"# TYPE {name} " in body, name
+        assert 'state="pending"' in body  # queue-depth label name
+
+    def test_metrics_rpc_snapshot_matches_names(self, secured):
+        broker = HttpBroker(secured, token=TOKEN)
+        snapshot = broker.metrics()
+        assert "chronos_tasks_claimed_total" in snapshot
+        assert snapshot["chronos_queue_depth"]["type"] == "gauge"
+
+    def test_metrics_over_tls_with_token(self, tmp_path, clean_env, tls_material):
+        certfile, keyfile = tls_material
+        server, url = _serve(
+            tmp_path / "q.sqlite", token=TOKEN, certfile=certfile, keyfile=keyfile
+        )
+        try:
+            assert url.startswith("https://")
+            body = fetch_metrics(url, token=TOKEN, cafile=str(certfile))
+            assert "# TYPE chronos_queue_depth gauge" in body
+        finally:
+            server.shutdown()
+            server.server_close()
 
 
 class TestTls:
