@@ -10,6 +10,8 @@ micro-second timing stability.
 
 from __future__ import annotations
 
+import gc
+
 import pytest
 
 from repro.experiments.common import ExperimentScale
@@ -32,7 +34,14 @@ def experiment_scale(request) -> ExperimentScale:
 
 
 def run_once(benchmark, func, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Garbage left behind by earlier tests is collected *before* the round:
+    with ``rounds=1`` a generational collection triggered mid-measurement
+    would otherwise bill a previous experiment's garbage to this one
+    (observed at tens of milliseconds for the simulator benchmarks).
+    """
+    gc.collect()
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 

@@ -27,8 +27,11 @@ def test_bench_trace_simulation_throughput(benchmark):
     report = run_once(
         benchmark, runner.run, jobs, build_strategy(StrategyName.SPECULATIVE_RESUME, params)
     )
+    mean_s = max(benchmark.stats.stats.mean, 1e-9)
     benchmark.extra_info["jobs"] = report.num_jobs
     benchmark.extra_info["pocd"] = report.pocd
+    benchmark.extra_info["scenarios_per_sec"] = 1.0 / mean_s
+    benchmark.extra_info["jobs_per_sec"] = report.num_jobs / mean_s
     assert report.num_jobs == 100
 
 
@@ -41,5 +44,8 @@ def test_bench_contended_cluster_simulation(benchmark):
     runner = SimulationRunner(cluster=ClusterConfig(num_nodes=40, slots_per_node=8), seed=4)
 
     report = run_once(benchmark, runner.run, jobs, build_strategy(StrategyName.CLONE, params))
+    mean_s = max(benchmark.stats.stats.mean, 1e-9)
     benchmark.extra_info["pocd"] = report.pocd
+    benchmark.extra_info["scenarios_per_sec"] = 1.0 / mean_s
+    benchmark.extra_info["jobs_per_sec"] = report.num_jobs / mean_s
     assert report.num_jobs == 60

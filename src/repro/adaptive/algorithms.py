@@ -163,6 +163,7 @@ class _ListAlgorithm(AlgorithmAdapter):
         self._told: Dict[str, Optional[float]] = {}
 
     def ask(self, n: int) -> List[Proposal]:
+        """The next ``n`` proposals from the precomputed list."""
         if n < 1:
             raise ValueError("ask count must be a positive integer")
         batch = self._proposals[self._cursor : self._cursor + n]
@@ -175,9 +176,11 @@ class _ListAlgorithm(AlgorithmAdapter):
         score: Optional[float],
         metrics: Optional[Mapping[str, float]] = None,
     ) -> None:
+        """Record a trial outcome (list algorithms only count arrivals)."""
         self._told.setdefault(trial_id, score)
 
     def finished(self) -> bool:
+        """Whether every proposal has been issued and reported back."""
         return self._cursor >= len(self._proposals) and len(self._told) >= len(
             self._proposals
         )
@@ -355,6 +358,7 @@ class SuccessiveHalving(AlgorithmAdapter):
             self._done = True
 
     def ask(self, n: int) -> List[Proposal]:
+        """Up to ``n`` proposals from the current rung's queue."""
         if n < 1:
             raise ValueError("ask count must be a positive integer")
         self._advance_if_ready()
@@ -371,6 +375,7 @@ class SuccessiveHalving(AlgorithmAdapter):
         score: Optional[float],
         metrics: Optional[Mapping[str, float]] = None,
     ) -> None:
+        """Record a rung trial's score and advance the rung when complete."""
         config_index = self._rung_trials.get(trial_id)
         if config_index is None:
             return  # a replay from a previous rung; already counted
@@ -386,16 +391,17 @@ class SuccessiveHalving(AlgorithmAdapter):
         self._advance_if_ready()
 
     def finished(self) -> bool:
+        """Whether the final rung has completed and nothing is queued."""
         self._advance_if_ready()
         return self._done and not self._queue
 
     def drain_pruned(self) -> List[Tuple[Proposal, str]]:
+        """Pop the accumulated (proposal, reason) pruning decisions."""
         pruned, self._pruned = self._pruned, []
         return pruned
 
     def best_trial_id(self) -> Optional[str]:
-        # Defer to the ledger's best score; halving's answer *is* the
-        # best completed trial (feasibility already shaped survival).
+        """``None``: the ledger's best completed score is halving's answer."""
         return None
 
 
@@ -468,6 +474,7 @@ class FrontierBisect(AlgorithmAdapter):
         return make_proposal(params)
 
     def ask(self, n: int) -> List[Proposal]:
+        """The bracket's midpoint trial (bisection asks one at a time)."""
         if n < 1:
             raise ValueError("ask count must be a positive integer")
         if self._outstanding is not None or self.finished():
@@ -484,6 +491,7 @@ class FrontierBisect(AlgorithmAdapter):
         score: Optional[float],
         metrics: Optional[Mapping[str, float]] = None,
     ) -> None:
+        """Fold the midpoint's feasibility into the bracket and shrink it."""
         if self._outstanding is None or self._outstanding[0] != trial_id:
             return  # idempotent replay, or a trial from another bracket
         _, index = self._outstanding
@@ -523,13 +531,16 @@ class FrontierBisect(AlgorithmAdapter):
             self._lo = index + 1
 
     def finished(self) -> bool:
+        """Whether the bracket is empty and no trial is outstanding."""
         return self._outstanding is None and self._lo > self._hi
 
     def drain_pruned(self) -> List[Tuple[Proposal, str]]:
+        """Pop the accumulated (proposal, reason) pruning decisions."""
         pruned, self._pruned = self._pruned, []
         return pruned
 
     def best_trial_id(self) -> Optional[str]:
+        """Trial id of the cheapest feasible value found, if any."""
         if self._best_feasible is None:
             return None
         return self._proposal_for(self._best_feasible).trial_id

@@ -310,7 +310,9 @@ class TrialLedger:
         self._conn.close()
 
     def __enter__(self) -> "TrialLedger":
+        """Context-manager entry: the ledger itself."""
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the connection."""
         self.close()

@@ -43,6 +43,7 @@ class Objective:
     direction: str = "max"
 
     def __post_init__(self) -> None:
+        """Reject directions other than ``"max"`` / ``"min"``."""
         if self.direction not in ("max", "min"):
             raise ValueError(
                 f"objective direction must be 'max' or 'min', got {self.direction!r}"

@@ -85,6 +85,7 @@ class _TrialEventLog:
         self._dead = target is None
 
     def log(self, kind: str, fingerprint: Optional[str], detail: Optional[str]) -> None:
+        """Best-effort event write; any failure silences future writes."""
         if self._dead:
             return
         try:
@@ -97,6 +98,7 @@ class _TrialEventLog:
             self._dead = True
 
     def close(self) -> None:
+        """Release the broker connection, ignoring teardown errors."""
         if self._broker is not None:
             try:
                 self._broker.close()
@@ -431,9 +433,11 @@ class SearchResult:
     stopped: bool = False
 
     def __len__(self) -> int:
+        """Number of recorded trials."""
         return len(self.trials)
 
     def __iter__(self) -> Iterator[TrialRecord]:
+        """Iterate over the recorded trials, in proposal order."""
         return iter(self.trials)
 
     @property

@@ -67,7 +67,9 @@ from repro.api.events import (
     event_from_dict,
 )
 from repro.api.facade import (
+    RunnerTemplate,
     ScenarioResult,
+    clear_template_cache,
     execute,
     report_from_dict,
     report_to_dict,
@@ -126,6 +128,8 @@ __all__ = [
     "job_spec_from_dict",
     # façade
     "run",
+    "RunnerTemplate",
+    "clear_template_cache",
     "ScenarioResult",
     "report_to_dict",
     "report_from_dict",
@@ -255,6 +259,7 @@ _CLUSTER_NAMES = frozenset(
 
 
 def __getattr__(name):
+    """Resolve the lazily re-exported adaptive/cluster names (PEP 562)."""
     if name in _ADAPTIVE_NAMES:
         import repro.adaptive as _adaptive
 
@@ -271,4 +276,5 @@ def __getattr__(name):
 
 
 def __dir__():
+    """Advertise the lazy re-exports alongside the eager module globals."""
     return sorted(set(globals()) | _ADAPTIVE_NAMES | _CLUSTER_NAMES)

@@ -18,13 +18,15 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro import telemetry
 from repro.api import registry as _registry
-from repro.api.spec import ScenarioSpec, SpecValidationError
+from repro.api.spec import ScenarioSpec, SpecValidationError, canonical_json
 from repro.core.model import StrategyName
+from repro.simulator.entities import JobSpec
 from repro.simulator.metrics import JobRecord, SimulationReport
 from repro.simulator.runner import SimulationRunner, default_estimator_for
 
@@ -114,38 +116,147 @@ def report_from_dict(data: Mapping[str, Any]) -> SimulationReport:
         raise SpecValidationError("result.report", str(error)) from error
 
 
+class RunnerTemplate:
+    """Seed-independent scaffolding for one *family* of scenario specs.
+
+    A spec family is everything a :class:`ScenarioSpec` says except its
+    ``seed``: replica runs of the same scenario share the workload
+    definition, the strategy instance and the resolved estimator, and
+    only the RNG stream differs.  A template performs that shared
+    resolution once — strategy construction, estimator lookup — and then
+    executes any number of per-seed runs against fresh
+    :class:`SimulationRunner` instances, so results are byte-identical
+    to building everything from scratch per call (strategies are
+    stateless and :class:`~repro.simulator.entities.JobSpec` lists are
+    deterministic functions of ``(workload, seed)``, which is already
+    the contract behind fingerprint-keyed result caching).
+
+    Example::
+
+        from repro.api import RunnerTemplate, ScenarioSpec
+
+        template = RunnerTemplate.for_spec(
+            ScenarioSpec(workload={"kind": "benchmark",
+                                   "params": {"name": "sort", "num_jobs": 10}},
+                         strategy="clone")
+        )
+        replicas = [template.run(seed) for seed in range(5)]
+        print([round(r.report.pocd, 3) for r in replicas])
+
+    :func:`run` uses a small LRU of templates internally, so sweeps that
+    stream many same-family specs (``seed`` grids in particular) get the
+    amortization without touching this class.
+    """
+
+    __slots__ = ("_spec", "_strategy", "_estimator", "_jobs")
+
+    #: Per-template cap on memoized per-seed workloads.
+    _JOBS_CACHE_SIZE = 16
+
+    def __init__(self, spec: ScenarioSpec):
+        if not isinstance(spec, ScenarioSpec):
+            raise SpecValidationError(
+                "spec", f"expected ScenarioSpec, got {type(spec).__name__}"
+            )
+        self._spec = spec
+        self._strategy = spec.build_strategy()
+        if spec.estimator is not None:
+            self._estimator = _registry.ESTIMATORS.get(spec.estimator)
+        else:
+            self._estimator = default_estimator_for(self._strategy.name)
+        self._jobs: "OrderedDict[int, List[JobSpec]]" = OrderedDict()
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        """The spec this template was built from (one member of the family)."""
+        return self._spec
+
+    @classmethod
+    def for_spec(cls, spec: ScenarioSpec) -> "RunnerTemplate":
+        """The cached template for ``spec``'s family (built on first use)."""
+        if not isinstance(spec, ScenarioSpec):
+            raise SpecValidationError(
+                "spec", f"expected ScenarioSpec, got {type(spec).__name__}"
+            )
+        family = dict(spec.to_dict(), seed=0)
+        key = (_registry.registry_epoch(), canonical_json(family))
+        template = _TEMPLATES.get(key)
+        if template is None:
+            template = cls(spec)
+            _TEMPLATES[key] = template
+            while len(_TEMPLATES) > _TEMPLATE_CACHE_SIZE:
+                _TEMPLATES.popitem(last=False)
+        else:
+            _TEMPLATES.move_to_end(key)
+        return template
+
+    def jobs_for(self, seed: int) -> List[JobSpec]:
+        """The family's workload materialized for ``seed`` (memoized)."""
+        jobs = self._jobs.get(seed)
+        if jobs is None:
+            if seed == self._spec.seed:
+                jobs = self._spec.build_jobs()
+            else:
+                jobs = dataclasses.replace(self._spec, seed=seed).build_jobs()
+            self._jobs[seed] = jobs
+            while len(self._jobs) > self._JOBS_CACHE_SIZE:
+                self._jobs.popitem(last=False)
+        else:
+            self._jobs.move_to_end(seed)
+        return jobs
+
+    def run(self, seed: Optional[int] = None) -> ScenarioResult:
+        """Execute one replica: the template's spec re-seeded with ``seed``."""
+        spec = self._spec
+        if seed is not None and seed != spec.seed:
+            spec = dataclasses.replace(spec, seed=seed)
+        return self._execute(spec)
+
+    def _execute(self, spec: ScenarioSpec) -> ScenarioResult:
+        jobs = self.jobs_for(spec.seed)
+        runner = SimulationRunner(
+            cluster=spec.cluster,
+            hadoop=spec.hadoop,
+            seed=spec.seed,
+            max_events=spec.max_events,
+            profiler=telemetry.active_profiler(),
+        )
+        started = time.perf_counter()
+        report = runner.run(jobs, self._strategy, estimator=self._estimator)
+        wall_time = time.perf_counter() - started
+        _SCENARIO_WALL.observe(wall_time)
+        return ScenarioResult(
+            spec=spec,
+            report=report,
+            fingerprint=spec.fingerprint(),
+            wall_time_s=wall_time,
+        )
+
+
+# Small LRU of templates keyed by (registry epoch, seed-masked canonical
+# spec JSON).  Sized for a handful of concurrently-swept families; each
+# worker process keeps its own.
+_TEMPLATE_CACHE_SIZE = 8
+_TEMPLATES: "OrderedDict[Tuple[int, str], RunnerTemplate]" = OrderedDict()
+
+
+def clear_template_cache() -> None:
+    """Drop all cached :class:`RunnerTemplate` instances (mainly for tests)."""
+    _TEMPLATES.clear()
+
+
 def run(spec: ScenarioSpec) -> ScenarioResult:
     """Execute one scenario end to end and return its result.
 
     Resolves the workload, strategy and estimator through the plugin
-    registries, builds a fresh :class:`SimulationRunner` (no state shared
-    between runs) and times the simulation.
+    registries via a cached :class:`RunnerTemplate` (seed-independent
+    construction is amortized across replica specs), builds a fresh
+    :class:`SimulationRunner` (no simulation state is shared between
+    runs) and times the simulation.
     """
     if not isinstance(spec, ScenarioSpec):
         raise SpecValidationError("spec", f"expected ScenarioSpec, got {type(spec).__name__}")
-    jobs = spec.build_jobs()
-    strategy = spec.build_strategy()
-    if spec.estimator is not None:
-        estimator = _registry.ESTIMATORS.get(spec.estimator)
-    else:
-        estimator = default_estimator_for(strategy.name)
-    runner = SimulationRunner(
-        cluster=spec.cluster,
-        hadoop=spec.hadoop,
-        seed=spec.seed,
-        max_events=spec.max_events,
-        profiler=telemetry.active_profiler(),
-    )
-    started = time.perf_counter()
-    report = runner.run(jobs, strategy, estimator=estimator)
-    wall_time = time.perf_counter() - started
-    _SCENARIO_WALL.observe(wall_time)
-    return ScenarioResult(
-        spec=spec,
-        report=report,
-        fingerprint=spec.fingerprint(),
-        wall_time_s=wall_time,
-    )
+    return RunnerTemplate.for_spec(spec)._execute(spec)
 
 
 # ----------------------------------------------------------------------

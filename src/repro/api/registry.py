@@ -70,8 +70,25 @@ class UnknownPluginError(KeyError):
         super().__init__(self.message)
 
     def __str__(self) -> str:
-        # KeyError.__str__ would repr() the message, adding stray quotes.
+        """The plain message (KeyError would repr() it, adding stray quotes)."""
         return self.message
+
+
+# Monotonic counter bumped on every (un)registration across all
+# registries.  Caches that memoize resolved plugins (e.g. the façade's
+# RunnerTemplate cache) key on this so re-registering a name under a
+# different implementation invalidates them.
+_epoch = 0
+
+
+def registry_epoch() -> int:
+    """Generation counter of the plugin registries (bumped on mutation)."""
+    return _epoch
+
+
+def _bump_epoch() -> None:
+    global _epoch
+    _epoch += 1
 
 
 class Registry(Generic[T]):
@@ -111,6 +128,7 @@ class Registry(Generic[T]):
                 f"{self._kind} {name!r} is already registered; pass overwrite=True to replace it"
             )
         self._plugins[key] = plugin
+        _bump_epoch()
         return plugin
 
     def get(self, name: str) -> T:
@@ -126,18 +144,21 @@ class Registry(Generic[T]):
         if key not in self._plugins:
             raise UnknownPluginError(self._kind, name, self._plugins)
         del self._plugins[key]
+        _bump_epoch()
 
     def names(self) -> tuple:
         """All registered names, sorted."""
         return tuple(sorted(self._plugins))
 
     def __contains__(self, name: object) -> bool:
+        """Whether a plugin is registered under ``name`` (case-insensitive)."""
         try:
             return self._normalize(name) in self._plugins
         except (TypeError, ValueError):
             return False
 
     def __len__(self) -> int:
+        """Number of registered plugins."""
         return len(self._plugins)
 
     def _normalize(self, name: object) -> str:

@@ -121,6 +121,7 @@ class WorkloadSpec:
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        """Canonicalize the workload kind and normalize the params."""
         if not isinstance(self.kind, str) or not self.kind.strip():
             raise SpecValidationError("workload.kind", "must be a non-empty string")
         kind = self.kind.strip().lower()
@@ -191,6 +192,7 @@ class ScenarioSpec:
     max_events: Optional[int] = None
 
     def __post_init__(self) -> None:
+        """Validate and canonicalize every section of the spec."""
         workload = self.workload
         if isinstance(workload, Mapping):
             workload = WorkloadSpec.from_dict(workload)

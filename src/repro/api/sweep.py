@@ -153,9 +153,11 @@ class ResultCache:
         self._memory.clear()
 
     def __len__(self) -> int:
+        """Number of in-memory entries (on-disk-only entries not counted)."""
         return len(self._memory)
 
     def __contains__(self, fingerprint: object) -> bool:
+        """Whether a result for ``fingerprint`` is available (memory or disk)."""
         return isinstance(fingerprint, str) and self.get(fingerprint) is not None
 
 
@@ -399,12 +401,15 @@ class SweepResult:
     stopped: bool = False
 
     def __len__(self) -> int:
+        """Number of completed results."""
         return len(self.results)
 
     def __iter__(self) -> Iterator[ScenarioResult]:
+        """Iterate over the completed results, in spec order."""
         return iter(self.results)
 
     def __getitem__(self, index: int) -> ScenarioResult:
+        """The ``index``-th completed result."""
         return self.results[index]
 
     @property
@@ -1106,6 +1111,7 @@ class Sweep:
         return self._specs
 
     def __len__(self) -> int:
+        """Number of scenarios in the sweep."""
         return len(self._specs)
 
     def run(

@@ -91,6 +91,7 @@ class DeadlineEDFScheduler(ClusterScheduler):
     name = "deadline_edf"
 
     def order(self, queued: Sequence["ClusterJob"], now: float) -> List["ClusterJob"]:
+        """Queued jobs sorted by absolute deadline, ties by arrival."""
         return sorted(queued, key=lambda job: (job.spec.absolute_deadline, job.arrival_order))
 
 
@@ -103,6 +104,7 @@ class FairShareScheduler(ClusterScheduler):
         self._running_per_class: Dict[str, int] = {}
 
     def order(self, queued: Sequence["ClusterJob"], now: float) -> List["ClusterJob"]:
+        """Queued jobs sorted by their class's running count, ties by arrival."""
         return sorted(
             queued,
             key=lambda job: (
@@ -112,6 +114,7 @@ class FairShareScheduler(ClusterScheduler):
         )
 
     def select(self, queued, running, free_slots, now):
+        """Admit greedily while keeping the per-class running counts fresh."""
         counts: Dict[str, int] = {}
         for job in running:
             counts[job.spec.workload] = counts.get(job.spec.workload, 0) + 1
@@ -148,6 +151,7 @@ class _BudgetedStrategy(SpeculationStrategy):
         self._inner.on_task_complete(am, task, attempt)
 
     def __getattr__(self, attr):
+        """Delegate everything else to the wrapped strategy."""
         return getattr(self._inner, attr)
 
 
@@ -214,9 +218,11 @@ class SpeculationBudgetScheduler(ClusterScheduler):
         return granted
 
     def wrap_strategy(self, strategy: SpeculationStrategy) -> SpeculationStrategy:
+        """Clamp the strategy's ``plan_job`` against the shared budget."""
         return _BudgetedStrategy(strategy, self)
 
     def on_job_finished(self, job: "ClusterJob") -> None:
+        """Return the job's charged extra attempts to the budget."""
         self._allocated.pop(job.spec.job_id, None)
 
 

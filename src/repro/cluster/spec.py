@@ -44,6 +44,7 @@ class ArrivalSpec:
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        """Canonicalize the arrival kind and normalize the params."""
         if not isinstance(self.kind, str) or not self.kind.strip():
             raise SpecValidationError("arrival.kind", "must be a non-empty string")
         kind = self.kind.strip().lower()
@@ -115,6 +116,7 @@ class ClusterSpec:
     max_events: Optional[int] = None
 
     def __post_init__(self) -> None:
+        """Validate and canonicalize every section of the cluster spec."""
         arrival = self.arrival
         if isinstance(arrival, Mapping):
             arrival = ArrivalSpec.from_dict(arrival)

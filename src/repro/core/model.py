@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Optional
 
 from repro.distributions import ParetoDistribution
@@ -170,22 +171,28 @@ class StragglerModel:
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
-    @property
+    # Cached: the optimizer's line search evaluates the net utility
+    # hundreds of times per job, and every evaluation reads several of
+    # these.  The model is frozen, so each value is computed once per
+    # instance (``cached_property`` writes the instance ``__dict__``
+    # directly, which bypasses the frozen ``__setattr__``); equality and
+    # hashing stay field-based.
+    @cached_property
     def attempt_distribution(self) -> ParetoDistribution:
         """Pareto distribution of a single attempt's execution time."""
         return ParetoDistribution(self.tmin, self.beta)
 
-    @property
+    @cached_property
     def mean_task_time(self) -> float:
         """Expected execution time of a single attempt."""
         return self.attempt_distribution.mean()
 
-    @property
+    @cached_property
     def straggler_probability(self) -> float:
         """``P(T > D) = (tmin / D) ** beta`` for a single attempt."""
         return (self.tmin / self.deadline) ** self.beta
 
-    @property
+    @cached_property
     def effective_phi_est(self) -> float:
         """The progress fraction used by Speculative-Resume formulas.
 
@@ -203,7 +210,7 @@ class StragglerModel:
             return 0.0
         return min(0.95, self.tau_est / conditional)
 
-    @property
+    @cached_property
     def remaining_work_fraction(self) -> float:
         """``1 - phi_est``: fraction of data left for resumed attempts."""
         return 1.0 - self.effective_phi_est

@@ -18,6 +18,7 @@ tail index ``beta``.  This subpackage provides:
 """
 
 from repro.distributions.base import Distribution
+from repro.distributions.batching import SampleBuffer, vectorized_batch_size
 from repro.distributions.empirical import EmpiricalDistribution
 from repro.distributions.pareto import (
     ParetoDistribution,
@@ -30,7 +31,9 @@ __all__ = [
     "Distribution",
     "EmpiricalDistribution",
     "ParetoDistribution",
+    "SampleBuffer",
     "TruncatedParetoDistribution",
     "ShiftedDistribution",
     "fit_pareto_mle",
+    "vectorized_batch_size",
 ]

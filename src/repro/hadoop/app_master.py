@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.core.model import StrategyName
+from repro.distributions import SampleBuffer, vectorized_batch_size
 from repro.hadoop.config import HadoopConfig
 from repro.hadoop.node_manager import NodeManager
 from repro.hadoop.resource_manager import ContainerRequest, ResourceManager
@@ -63,6 +64,15 @@ class ApplicationMaster:
         self._pending_requests: Dict[int, ContainerRequest] = {}
         self._scheduled_events: List[Event] = []
         self._finished = False
+        # One buffer per AM: the AM's RNG serves exactly one purpose
+        # (attempt durations), so block draws see the same stream as the
+        # historical one-sample-per-attempt calls.  Sized to roughly one
+        # wave of attempts per RNG round-trip.
+        distribution = job.spec.attempt_distribution
+        self._duration_samples = SampleBuffer(
+            lambda n: distribution.sample(n, rng=self._rng),
+            vectorized_batch_size(min(512, max(8, job.spec.num_tasks))),
+        )
 
     # ------------------------------------------------------------------
     # Read-only accessors used by strategies
@@ -243,8 +253,7 @@ class ApplicationMaster:
         """Sample the processing time for an attempt covering ``work_fraction``."""
         if not 0.0 < work_fraction <= 1.0:
             raise ValueError("work_fraction must lie in (0, 1]")
-        full = self._job.spec.attempt_distribution.sample_one(rng=self._rng)
-        return full * work_fraction
+        return self._duration_samples.next() * work_fraction
 
     # ------------------------------------------------------------------
     # Internals

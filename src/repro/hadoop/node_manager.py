@@ -13,6 +13,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.distributions import SampleBuffer, vectorized_batch_size
 from repro.hadoop.config import HadoopConfig
 from repro.hadoop.resource_manager import ResourceManager
 from repro.simulator.cluster import Container
@@ -39,6 +40,10 @@ class NodeManager:
         self._rng = rng if rng is not None else engine.spawn_rng()
         self._completion_events: Dict[int, Event] = {}
         self._containers: Dict[int, Container] = {}
+        # The NM's RNG serves exactly one purpose (JVM launch delays), so
+        # block draws reproduce the per-launch call stream bit-for-bit.
+        # The bounds are read per block from the (immutable) config.
+        self._jvm_samples = SampleBuffer(self._draw_jvm_delays, vectorized_batch_size(128))
 
     @property
     def running_attempts(self) -> int:
@@ -52,7 +57,11 @@ class NodeManager:
             return 0.0
         if jitter <= 0:
             return mean
-        return float(self._rng.uniform(mean - jitter, mean + jitter))
+        return self._jvm_samples.next()
+
+    def _draw_jvm_delays(self, size: int) -> np.ndarray:
+        mean, jitter = self._config.jvm_startup_mean, self._config.jvm_startup_jitter
+        return self._rng.uniform(mean - jitter, mean + jitter, size=size)
 
     def launch(
         self,

@@ -21,7 +21,7 @@ from repro.simulator.engine import SimulationEngine
 GrantCallback = Callable[[Container], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class ContainerRequest:
     """A pending request for one container."""
 
@@ -85,16 +85,17 @@ class ResourceManager:
     # Internals
     # ------------------------------------------------------------------
     def _drain_queue(self) -> None:
-        while self._pending and self._cluster.has_capacity():
-            request = self._pending.popleft()
-            if request.cancelled:
+        # ``allocate`` already performs the capacity check, so attempting
+        # the allocation directly avoids a second scan over the nodes.
+        pending = self._pending
+        while pending:
+            if pending[0].cancelled:
+                pending.popleft()
                 continue
             container = self._cluster.allocate()
             if container is None:
-                # Raced with another consumer; put the request back.
-                self._pending.appendleft(request)
                 return
-            self._schedule_grant(request, container)
+            self._schedule_grant(pending.popleft(), container)
 
     def _schedule_grant(self, request: ContainerRequest, container: Container) -> None:
         def deliver() -> None:

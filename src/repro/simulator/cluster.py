@@ -50,7 +50,7 @@ class ClusterConfig:
         return self.num_nodes * self.slots_per_node
 
 
-@dataclass
+@dataclass(slots=True)
 class Container:
     """A granted container: one slot on one node running one attempt."""
 
@@ -59,7 +59,7 @@ class Container:
     released: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _Node:
     node_id: int
     capacity: int
@@ -120,10 +120,16 @@ class Cluster:
             container = Container(container_id=next(self._container_ids), node_id=-1)
             self._register(container)
             return container
-        candidates = [node for node in self._nodes if node.free_slots > 0]
-        if not candidates:
+        # Single pass, keeping the first node with the most free slots —
+        # the same node ``max`` over the non-full candidates would pick.
+        node = None
+        node_free = 0
+        for candidate in self._nodes:
+            free = candidate.capacity - candidate.in_use
+            if free > node_free:
+                node, node_free = candidate, free
+        if node is None:
             return None
-        node = max(candidates, key=lambda n: n.free_slots)
         node.in_use += 1
         container = Container(container_id=next(self._container_ids), node_id=node.node_id)
         self._register(container)

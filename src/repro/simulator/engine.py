@@ -19,7 +19,7 @@ from typing import Any, Callable, List, Optional, Tuple
 import numpy as np
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -135,21 +135,60 @@ class SimulationEngine:
         max_events:
             Optional safety cap on the number of events to execute.
         """
-        executed = 0
-        while self._queue:
-            if max_events is not None and executed >= max_events:
-                return
-            event = self._queue[0][2]
-            if event.cancelled:
+        if max_events is not None:
+            # Legacy per-event loop: an event cap could strand pre-popped
+            # batch members, so capped runs stay strictly one-at-a-time.
+            executed = 0
+            while self._queue:
+                if executed >= max_events:
+                    return
+                event = self._queue[0][2]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    return
                 heapq.heappop(self._queue)
-                continue
-            if until is not None and event.time > until:
+                self._now = event.time
+                event.callback(*event.args)
+                self._processed += 1
+                executed += 1
+            if until is not None and until > self._now:
                 self._now = until
-                return
-            heapq.heappop(self._queue)
-            self._now = event.time
-            event.callback(*event.args)
-            self._processed += 1
-            executed += 1
-        if until is not None and until > self._now:
-            self._now = until
+            return
+
+        # Hot path (no event cap): pop the whole run of same-timestamp
+        # events in one sweep instead of re-peeking the heap after every
+        # callback.  Events scheduled *by* a batch member at the same
+        # timestamp carry a higher sequence number, so they form the next
+        # sweep — overall execution order is identical to the one-at-a-time
+        # loop.  Cancellation by an earlier batch member is honoured by
+        # re-checking ``cancelled`` immediately before each callback runs.
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        batch: List[Event] = []
+        try:
+            while queue:
+                head_time, _, event = queue[0]
+                if event.cancelled:
+                    pop(queue)
+                    continue
+                if until is not None and head_time > until:
+                    self._now = until
+                    return
+                pop(queue)
+                batch.append(event)
+                while queue and queue[0][0] == head_time:
+                    batch.append(pop(queue)[2])
+                self._now = head_time
+                for member in batch:
+                    if not member.cancelled:
+                        member.callback(*member.args)
+                        processed += 1
+                batch.clear()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._processed += processed

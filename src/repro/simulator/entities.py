@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional
 
 from repro.core.model import StragglerModel
@@ -81,12 +82,16 @@ class JobSpec:
         if self.unit_price < 0:
             raise ValueError("unit_price must be non-negative")
 
-    @property
+    # Cached: both are read on every deadline check / attempt sample, and
+    # the spec is frozen.  (``cached_property`` writes the instance
+    # ``__dict__``, bypassing the frozen ``__setattr__`` — which is also
+    # why JobSpec deliberately does not use ``slots=True``.)
+    @cached_property
     def absolute_deadline(self) -> float:
         """Deadline as an absolute simulation time."""
         return self.submit_time + self.deadline
 
-    @property
+    @cached_property
     def attempt_distribution(self) -> ParetoDistribution:
         """Pareto distribution of one attempt's processing time."""
         return ParetoDistribution(self.tmin, self.beta)
@@ -112,9 +117,14 @@ class JobSpec:
 _attempt_counter = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Attempt:
-    """A single attempt (original, clone or speculative copy) of a task."""
+    """A single attempt (original, clone or speculative copy) of a task.
+
+    The class is slotted: simulations create one instance per attempt
+    (tens of thousands per sweep), and progress scoring reads these fields
+    in every estimator call.
+    """
 
     task: "Task"
     created_time: float
@@ -127,6 +137,10 @@ class Attempt:
     processing_time: Optional[float] = None  # time to process its work fraction
     end_time: Optional[float] = None
     container_id: Optional[int] = None
+    #: Time of the first progress report (end of JVM launch); precomputed
+    #: in :meth:`mark_running` because the progress estimators read it on
+    #: every invocation.
+    first_progress_time: Optional[float] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.start_offset < 1.0:
@@ -151,13 +165,6 @@ class Attempt:
         return self.status in (AttemptStatus.COMPLETED, AttemptStatus.KILLED)
 
     @property
-    def first_progress_time(self) -> Optional[float]:
-        """Time of the first progress report (end of JVM launch)."""
-        if self.launch_time is None:
-            return None
-        return self.launch_time + self.jvm_delay
-
-    @property
     def expected_finish_time(self) -> Optional[float]:
         """Ground-truth completion time (not visible to schedulers)."""
         if self.launch_time is None or self.processing_time is None:
@@ -166,16 +173,20 @@ class Attempt:
 
     def progress(self, now: float) -> float:
         """Progress score: fraction of the *task's* data processed by ``now``."""
-        if self.launch_time is None or self.processing_time is None:
-            return self.start_offset
+        launch_time = self.launch_time
+        processing_time = self.processing_time
+        start_offset = self.start_offset
+        if launch_time is None or processing_time is None:
+            return start_offset
         if self.status is AttemptStatus.COMPLETED:
             return 1.0
-        reference = min(now, self.end_time) if self.end_time is not None else now
-        elapsed_processing = reference - self.launch_time - self.jvm_delay
+        end_time = self.end_time
+        reference = min(now, end_time) if end_time is not None else now
+        elapsed_processing = reference - launch_time - self.jvm_delay
         if elapsed_processing <= 0:
-            return self.start_offset
-        fraction_of_own_work = min(1.0, elapsed_processing / self.processing_time)
-        return self.start_offset + fraction_of_own_work * self.work_fraction
+            return start_offset
+        fraction_of_own_work = min(1.0, elapsed_processing / processing_time)
+        return start_offset + fraction_of_own_work * (1.0 - start_offset)
 
     def machine_time(self, now: float) -> float:
         """VM time consumed by this attempt up to ``now`` (or its end)."""
@@ -200,6 +211,7 @@ class Attempt:
         self.jvm_delay = jvm_delay
         self.processing_time = processing_time
         self.container_id = container_id
+        self.first_progress_time = launch_time + jvm_delay
 
     def mark_completed(self, now: float) -> None:
         """Transition RUNNING -> COMPLETED."""
@@ -216,7 +228,7 @@ class Attempt:
         self.end_time = now if self.launch_time is not None else self.created_time
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """One parallel unit of work within a job."""
 
@@ -274,7 +286,7 @@ class Task:
         return sum(attempt.machine_time(now) for attempt in self.attempts)
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """A submitted job and its runtime state."""
 

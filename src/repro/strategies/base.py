@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import TYPE_CHECKING, Dict, Optional, Type
 
 from repro.core.model import StragglerModel, StrategyName
@@ -159,14 +160,13 @@ class SpeculationStrategy(abc.ABC):
         spec = am.job.spec
         try:
             model = spec.to_straggler_model(tau_est, tau_kill, self.params.phi_est)
-            optimizer = ChronosOptimizer(
+            return _optimized_r_cached(
                 model,
-                theta=self.params.theta,
-                unit_price=self.params.unit_price,
-                r_min_pocd=self.params.r_min_pocd,
+                strategy,
+                self.params.theta,
+                self.params.unit_price,
+                self.params.r_min_pocd,
             )
-            result = optimizer.optimize(strategy)
-            return result.r_opt
         except (ValueError, ArithmeticError):
             return 1
 
@@ -174,6 +174,29 @@ class SpeculationStrategy(abc.ABC):
         """The analytical model of this job under the strategy's timing."""
         tau_est, tau_kill = self.clipped_timing(am)
         return am.job.spec.to_straggler_model(tau_est, tau_kill, self.params.phi_est)
+
+
+@lru_cache(maxsize=4096)
+def _optimized_r_cached(
+    model: StragglerModel,
+    strategy: StrategyName,
+    theta: float,
+    unit_price: float,
+    r_min_pocd: float,
+) -> int:
+    """Memoized Algorithm-1 result for one (model, strategy, params) key.
+
+    The optimization is a pure function of the frozen model and the
+    utility parameters, so jobs that share a spec family (replica seeds,
+    identical cluster arrivals) pay for Algorithm 1 exactly once per
+    process instead of once per job.  Only the integer ``r_opt`` is
+    cached — :class:`~repro.core.optimizer.OptimizationResult` carries a
+    mutable dict, which must not be shared between callers.
+    """
+    optimizer = ChronosOptimizer(
+        model, theta=theta, unit_price=unit_price, r_min_pocd=r_min_pocd
+    )
+    return optimizer.optimize(strategy).r_opt
 
 
 _REGISTRY: Dict[StrategyName, Type[SpeculationStrategy]] = {}

@@ -19,6 +19,7 @@ from repro.core.utility import (
     concavity_threshold_clone,
     concavity_threshold_restart,
     concavity_threshold_resume,
+    make_net_utility_fn,
     net_utility,
     net_utility_gradient,
     pocd_utility,
@@ -224,3 +225,53 @@ class TestGradientLineSearch:
         params = UtilityParameters(theta=1.0)
         r = gradient_line_search(loose_model, StrategyName.CLONE, params, r_start=0.0)
         assert r >= 0.0
+
+
+class TestNetUtilityClosure:
+    """make_net_utility_fn must be *exactly* equal to net_utility.
+
+    The optimizer's line search runs on the specialized closures; if
+    they drift from the reference implementation by even one ULP, the
+    selected r* can differ and every downstream fingerprint changes.
+    Hence `==`, not pytest.approx.
+    """
+
+    MODELS = [
+        StragglerModel(tmin=10.0, beta=1.5, num_tasks=50, deadline=60.0,
+                       tau_est=12.0, tau_kill=20.0),
+        StragglerModel(tmin=15.0, beta=1.2, num_tasks=300, deadline=120.0,
+                       tau_est=30.0, tau_kill=60.0),
+        StragglerModel(tmin=5.0, beta=2.5, num_tasks=10, deadline=25.0,
+                       tau_est=6.0, tau_kill=6.0, phi_est=0.4),
+        # beta <= 1: infinite mean attempt time, cost side infeasible.
+        StragglerModel(tmin=10.0, beta=0.9, num_tasks=20, deadline=80.0,
+                       tau_est=15.0, tau_kill=30.0),
+    ]
+
+    R_GRID = [0.0, 0.25, 0.5, 1.0, 1.7, 2.0, 3.0, 5.25, 10.0, 40.0]
+
+    @pytest.mark.parametrize("strategy", ALL_CHRONOS)
+    @pytest.mark.parametrize("model_idx", range(len(MODELS)))
+    def test_closure_bit_identical_to_reference(self, model_idx, strategy):
+        model = self.MODELS[model_idx]
+        for params in (
+            UtilityParameters(),
+            UtilityParameters(theta=1e-6, unit_price=2.0),
+            UtilityParameters(theta=1e-3, unit_price=0.5, r_min_pocd=0.9),
+        ):
+            fn = make_net_utility_fn(model, strategy, params)
+            for r in self.R_GRID:
+                expected = net_utility(model, strategy, r, params)
+                actual = fn(r)
+                # Exact float equality on purpose; -inf == -inf holds too.
+                assert actual == expected, (
+                    f"closure diverged for {strategy} r={r}: {actual!r} != {expected!r}"
+                )
+
+    @pytest.mark.parametrize("strategy", ALL_CHRONOS)
+    def test_closure_rejects_negative_r(self, model, strategy):
+        fn = make_net_utility_fn(model, strategy, UtilityParameters())
+        with pytest.raises(ValueError):
+            fn(-1.0)
+        with pytest.raises(ValueError):
+            net_utility(model, strategy, -1.0, UtilityParameters())

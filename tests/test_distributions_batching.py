@@ -1,0 +1,115 @@
+"""Unit tests for the block-sampling layer behind the simulator hot path.
+
+The simulator's byte-identical fast path rests on one numpy fact: the
+partition of ``Generator`` draws into calls does not change the stream.
+These tests pin both the fact itself and the :class:`SampleBuffer`
+machinery that exploits it, plus the ``CHRONOS_VECTORIZE`` escape hatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import ParetoDistribution
+from repro.distributions.batching import SampleBuffer, vectorized_batch_size
+
+
+class TestVectorizedBatchSize:
+    def test_returns_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("CHRONOS_VECTORIZE", raising=False)
+        assert vectorized_batch_size(64) == 64
+
+    def test_clamps_default_to_at_least_one(self, monkeypatch):
+        monkeypatch.delenv("CHRONOS_VECTORIZE", raising=False)
+        assert vectorized_batch_size(0) == 1
+        assert vectorized_batch_size(-5) == 1
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", "OFF", " No "])
+    def test_disabled_values_force_scalar_draws(self, monkeypatch, value):
+        monkeypatch.setenv("CHRONOS_VECTORIZE", value)
+        assert vectorized_batch_size(64) == 1
+
+    @pytest.mark.parametrize("value", ["1", "on", "true", "yes", ""])
+    def test_other_values_keep_batching(self, monkeypatch, value):
+        monkeypatch.setenv("CHRONOS_VECTORIZE", value)
+        assert vectorized_batch_size(64) == 64
+
+    def test_read_at_call_time_not_import_time(self, monkeypatch):
+        monkeypatch.setenv("CHRONOS_VECTORIZE", "0")
+        assert vectorized_batch_size(8) == 1
+        monkeypatch.setenv("CHRONOS_VECTORIZE", "1")
+        assert vectorized_batch_size(8) == 8
+
+
+class TestSampleBuffer:
+    def test_rejects_non_positive_batch(self):
+        with pytest.raises(ValueError):
+            SampleBuffer(lambda n: np.zeros(n), 0)
+
+    def test_stream_identical_to_scalar_draws(self):
+        """The load-bearing invariant: block draws == per-draw calls."""
+        dist = ParetoDistribution(10.0, 1.5)
+        buffered_rng = np.random.default_rng(1234)
+        scalar_rng = np.random.default_rng(1234)
+        buffer = SampleBuffer(lambda n: dist.sample(n, rng=buffered_rng), batch=7)
+        for _ in range(100):
+            expected = float(dist.sample(1, rng=scalar_rng)[0])
+            assert buffer.next() == expected
+
+    def test_draw_called_once_per_block(self):
+        calls = []
+
+        def draw(n):
+            calls.append(n)
+            return np.arange(len(calls) * 100, len(calls) * 100 + n, dtype=float)
+
+        buffer = SampleBuffer(draw, batch=4)
+        values = [buffer.next() for _ in range(10)]
+        assert calls == [4, 4, 4]
+        assert values == [100, 101, 102, 103, 200, 201, 202, 203, 300, 301]
+
+    def test_draw_is_lazy(self):
+        calls = []
+        SampleBuffer(lambda n: calls.append(n) or np.zeros(n), batch=8)
+        assert calls == []
+
+    def test_invalidate_drops_pending_samples(self):
+        blocks = iter([np.array([1.0, 2.0, 3.0]), np.array([7.0, 8.0, 9.0])])
+        buffer = SampleBuffer(lambda n: next(blocks), batch=3)
+        assert buffer.next() == 1.0
+        buffer.invalidate()
+        # The remaining 2.0 and 3.0 are gone; the next call re-draws.
+        assert buffer.next() == 7.0
+
+    def test_batch_one_matches_historical_call_pattern(self):
+        calls = []
+
+        def draw(n):
+            calls.append(n)
+            return np.array([float(len(calls))])
+
+        buffer = SampleBuffer(draw, batch=1)
+        assert [buffer.next() for _ in range(3)] == [1.0, 2.0, 3.0]
+        assert calls == [1, 1, 1]
+
+    def test_returns_python_floats(self):
+        buffer = SampleBuffer(lambda n: np.full(n, 2.5), batch=4)
+        assert type(buffer.next()) is float
+
+
+class TestNumpyPartitionInvariance:
+    """Document the numpy contract the whole fast path depends on."""
+
+    def test_uniform_block_equals_sequential_scalars(self):
+        block = np.random.default_rng(42).uniform(size=32)
+        rng = np.random.default_rng(42)
+        singles = np.array([rng.uniform(size=1)[0] for _ in range(32)])
+        assert np.array_equal(block, singles)
+
+    def test_mixed_partitions_equal(self):
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        a = np.concatenate([rng_a.uniform(size=5), rng_a.uniform(size=11)])
+        b = np.concatenate([rng_b.uniform(size=2), rng_b.uniform(size=14)])
+        assert np.array_equal(a, b)
