@@ -53,7 +53,12 @@ from repro.api.facade import execute as execute_spec
 from repro.api.spec import ScenarioSpec
 from repro.distributed.broker import TaskFailedError
 from repro.distributed.leases import LeasePolicy
-from repro.distributed.targets import is_service_url, open_broker, open_store
+from repro.distributed.targets import (
+    is_federation_target,
+    is_service_url,
+    open_broker,
+    open_store,
+)
 from repro.distributed.worker import WorkerConfig, WorkerPool
 
 #: Seconds between supervision passes while workers run.
@@ -130,8 +135,11 @@ def execute_stream(
     """
     if broker is not None and db is not None:
         raise ValueError("pass either db (sqlite path) or broker (service URL), not both")
-    if broker is not None and not is_service_url(broker):
-        raise ValueError(f"broker must be an http(s):// service URL, got {broker!r}")
+    if broker is not None and not (is_service_url(broker) or is_federation_target(broker)):
+        raise ValueError(
+            f"broker must be an http(s):// service URL or a 'shards:' federation "
+            f"spec, got {broker!r}"
+        )
     if on_failure not in ("raise", "continue"):
         raise ValueError(f"on_failure must be 'raise' or 'continue', got {on_failure!r}")
     remote = broker is not None

@@ -1,0 +1,64 @@
+"""``repro.federation`` — sharded broker federation for distributed sweeps.
+
+The sqlite broker serializes every queue mutation through one WAL
+writer lock; the HTTP service serializes them through one process.
+This package removes that ceiling *without touching either*: a
+federation partitions the fingerprint space across N ordinary backend
+shards — each a ``sqlite:`` path or ``http(s)://`` service — and
+presents the whole as one :class:`FederatedBroker` /
+:class:`FederatedResultStore` implementing the exact broker and
+result-store interfaces every consumer already speaks.  Workers, the
+sweep executor, adaptive search and the CLI run unchanged against a
+``shards:`` target::
+
+    outcome = sweep.run(
+        executor="distributed",
+        broker="shards:shard-a.sqlite,shard-b.sqlite,shard-c.sqlite",
+    )
+
+Three mechanisms make the federation behave like one broker:
+
+- **content routing** (:mod:`~repro.federation.routing`): a task's
+  owning shard is a pure function of its fingerprint, so enqueue,
+  heartbeat, completion, cancellation and cached re-runs all agree on
+  where a scenario lives — across processes and shard-list orderings
+  (the topology is canonically sorted);
+- **the packed event cursor** (:mod:`~repro.federation.events`): the N
+  monotonic per-shard event logs merge into one totally ordered stream
+  whose integer cursor encodes every shard's position, so live
+  progress tailing and event-log resume work through the single-broker
+  contract;
+- **explicit degradation**: claims skip an unreachable shard (with a
+  :class:`RuntimeWarning` and the ``chronos_shard_unavailable_total``
+  counter) while enqueues to a dead owning shard fail fast.
+
+Targets are parsed by :class:`ShardTopology` (inline comma list or a
+JSON topology file); :func:`repro.distributed.open_broker` /
+``open_store`` dispatch ``shards:`` specs here.
+"""
+
+from repro.federation.broker import FederatedBroker
+from repro.federation.events import (
+    MAX_SHARD_SEQ,
+    SHARD_SEQ_BITS,
+    merge_event_batches,
+    pack_cursor,
+    unpack_cursor,
+)
+from repro.federation.routing import shard_index
+from repro.federation.store import FederatedResultStore
+from repro.federation.topology import SHARDS_PREFIX, ShardTopology, is_federation_target
+
+__all__ = [
+    "SHARDS_PREFIX",
+    "SHARD_SEQ_BITS",
+    "MAX_SHARD_SEQ",
+    "FederatedBroker",
+    "FederatedResultStore",
+    "ShardTopology",
+    "is_federation_target",
+    "merge_event_batches",
+    "pack_cursor",
+    "shard_index",
+    "unpack_cursor",
+]

@@ -1,0 +1,43 @@
+"""Deterministic fingerprint → shard routing for the broker federation.
+
+A scenario fingerprint is the first 16 hex characters of the SHA-256 of
+its canonical spec JSON (see :func:`repro.api.facade.fingerprint`), so
+the fingerprint *is* already a uniformly distributed 64-bit integer in
+disguise.  Routing interprets that prefix as a number and reduces it
+modulo the shard count — no extra hashing, no coordination, and the
+same fingerprint lands on the same shard from any process that agrees
+on the (canonically ordered, see
+:class:`repro.federation.topology.ShardTopology`) shard list.
+
+That stability is what makes the federation content-addressed end to
+end: a re-run's cache probe, a recovered lease, and the original
+enqueue all resolve to the same owning shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Hex characters of the fingerprint consumed by the router (the whole
+#: fingerprint: they are 16 hex chars ≙ 64 bits).
+ROUTING_PREFIX_LEN = 16
+
+
+def shard_index(fingerprint: str, num_shards: int) -> int:
+    """The owning shard's index for a fingerprint (``0 ≤ i < num_shards``).
+
+    Pure and process-independent: only the fingerprint text and the
+    shard *count* matter, so any two parties that share a canonical
+    shard ordering route identically.  Non-hex identifiers (some tests
+    and out-of-band event fingerprints) fall back to hashing the text,
+    keeping the function total without ever raising on queue traffic.
+    """
+    if num_shards < 1:
+        raise ValueError("a federation needs at least one shard")
+    text = str(fingerprint)
+    try:
+        prefix = int(text[:ROUTING_PREFIX_LEN], 16)
+    except ValueError:
+        digest = hashlib.sha256(text.encode("utf-8")).digest()
+        prefix = int.from_bytes(digest[:8], "big")
+    return prefix % num_shards

@@ -1,0 +1,119 @@
+"""Federation topology: what ``shards:…`` names, in canonical order.
+
+A federation target is one string, just like every other queue target::
+
+    shards:shard-a.sqlite,shard-b.sqlite
+    shards:https://q1.example:8176,https://q2.example:8176
+    shards:topology.json          # or shards:@topology.json
+
+The inline form is a comma-separated list of ordinary queue targets
+(each a ``sqlite:`` path or ``http(s)://`` service URL); the file form
+points at a JSON document — either ``{"shards": [...]}`` or a bare
+list — which keeps multi-line fleets out of shell history.  Relative
+sqlite paths inside a topology file resolve against the file's own
+directory, so the file can travel with its shards.
+
+The parsed :class:`ShardTopology` *sorts* the canonicalized shard
+targets.  That makes the shard order — and therefore
+:func:`repro.federation.routing.shard_index` routing — a function of
+the shard *set*, not of how a particular caller happened to list it:
+two processes given permuted specs still agree on every fingerprint's
+owner, which the content-addressed re-run and lease-recovery paths
+depend on.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.distributed.store import SQLITE_PREFIX, normalize_db_path
+from repro.federation.routing import shard_index
+
+#: Scheme prefix naming a broker federation, mirroring ``sqlite:``.
+SHARDS_PREFIX = "shards:"
+
+
+def is_federation_target(target: Union[str, Path]) -> bool:
+    """Whether a queue target names a shard federation (``shards:…``)."""
+    return str(target).startswith(SHARDS_PREFIX)
+
+
+def _canonical_shard(entry: str, base_dir: Optional[Path] = None) -> str:
+    """One shard target in canonical text form (stable across callers)."""
+    text = str(entry).strip()
+    if text.startswith("http://") or text.startswith("https://"):
+        return text.rstrip("/")
+    path = normalize_db_path(text)
+    if base_dir is not None and not path.is_absolute():
+        path = base_dir / path
+    return SQLITE_PREFIX + path.as_posix()
+
+
+@dataclass(frozen=True)
+class ShardTopology:
+    """The canonically ordered shard list behind one ``shards:`` target."""
+
+    shards: Tuple[str, ...]
+
+    @classmethod
+    def parse(cls, target: Union[str, Path]) -> "ShardTopology":
+        """Parse a ``shards:`` spec (inline comma list or JSON file).
+
+        Raises :class:`ValueError` for an empty spec, a duplicate shard
+        (it would double-count every scatter-gather), or an unreadable
+        or malformed topology file.
+        """
+        text = str(target)
+        if text.startswith(SHARDS_PREFIX):
+            text = text[len(SHARDS_PREFIX):]
+        text = text.strip()
+        if not text:
+            raise ValueError(
+                "shards: spec names no shards (expected 'shards:a.sqlite,b.sqlite' "
+                "or 'shards:topology.json')"
+            )
+        base_dir = None
+        if text.startswith("@") or text.endswith(".json"):
+            path = Path(text[1:] if text.startswith("@") else text)
+            try:
+                data = json.loads(path.read_text())
+            except OSError as error:
+                raise ValueError(f"cannot read shard topology file {path}: {error}") from error
+            except ValueError as error:
+                raise ValueError(f"shard topology file {path} is not JSON: {error}") from error
+            entries = data.get("shards") if isinstance(data, dict) else data
+            if not isinstance(entries, list) or not all(
+                isinstance(item, str) for item in entries
+            ):
+                raise ValueError(
+                    f"shard topology file {path} must be a JSON list of target strings "
+                    "or an object with a 'shards' list"
+                )
+            base_dir = path.parent
+        else:
+            entries = [piece for piece in (p.strip() for p in text.split(",")) if piece]
+        if not entries:
+            raise ValueError("shards: spec names no shards")
+        canonical = [_canonical_shard(entry, base_dir=base_dir) for entry in entries]
+        duplicates = sorted(shard for shard, n in Counter(canonical).items() if n > 1)
+        if duplicates:
+            raise ValueError(
+                f"duplicate shard target(s) in federation spec: {', '.join(duplicates)}"
+            )
+        return cls(shards=tuple(sorted(canonical)))
+
+    @property
+    def spec(self) -> str:
+        """The canonical ``shards:`` target string for this topology."""
+        return SHARDS_PREFIX + ",".join(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def owner_of(self, fingerprint: str) -> int:
+        """Index of the shard that owns a fingerprint."""
+        return shard_index(fingerprint, len(self.shards))
